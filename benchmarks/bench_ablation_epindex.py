@@ -1,0 +1,59 @@
+"""Ablation A2: RPIndex vs EPIndex (Section 5.6).
+
+Extended-Prufer sequences put value labels into the subsequence filter,
+which prunes hard for selective value queries (Q1, Q3, Q4, Q5); for
+value-free queries the shorter Regular-Prufer sequences win.  This is
+the trade the paper's query optimizer navigates.
+"""
+
+from repro.bench.harness import environment
+from repro.bench.reporting import render_table
+from repro.bench.workloads import QUERIES, query_by_id
+
+
+def test_ablation_rp_vs_ep(benchmark):
+    rows = []
+    results = {}
+    for spec in QUERIES:
+        env = environment(spec.corpus)
+        rp = env.run_prix(spec.qid, variant="rp", strategy="trie")
+        ep = env.run_prix(spec.qid, variant="ep", strategy="trie")
+        auto = env.run_prix(spec.qid)
+        assert rp.matches == ep.matches == auto.matches, spec.qid
+        results[spec.qid] = (rp, ep, auto)
+        rows.append([
+            spec.qid,
+            "values" if spec.has_values else "no values",
+            f"{rp.extra['range_queries']} rq / {rp.elapsed:.4f}s",
+            f"{ep.extra['range_queries']} rq / {ep.elapsed:.4f}s",
+            auto.extra["variant"],
+        ])
+    benchmark.pedantic(
+        lambda: environment("dblp").run_prix("Q3", variant="ep",
+                                            strategy="trie"),
+        rounds=1, iterations=1)
+
+    render_table(
+        "Ablation A2: RPIndex vs EPIndex per query",
+        ["Query", "Kind", "RPIndex", "EPIndex", "Optimizer picked"],
+        rows)
+
+    # Value queries always go to EPIndex (Section 5.6's rule); for
+    # value-free queries the optimizer picks by first-label selectivity,
+    # and its choice must never be slower than the alternative by more
+    # than measurement noise allows.
+    for spec in QUERIES:
+        rp, ep, auto = results[spec.qid]
+        if query_by_id(spec.qid).has_values:
+            assert auto.extra["variant"] == "ep", spec.qid
+        else:
+            # The first-label frequency estimate is a heuristic; require
+            # the chosen plan's I/O to be within a small factor of the
+            # better variant's.
+            best_pages = min(rp.pages, ep.pages)
+            assert auto.pages <= max(best_pages * 4, 40), spec.qid
+
+    # Selective value queries: EP inspects no more trie nodes than RP.
+    for qid in ("Q3", "Q4"):
+        rp, ep, _ = results[qid]
+        assert ep.extra["nodes_visited"] <= rp.extra["nodes_visited"], qid

@@ -1,0 +1,54 @@
+"""Table 8: PRIX vs TwigStackXB where solutions are clustered.
+
+Paper values:
+
+    Query  PRIX            TwigStackXB
+    Q1     1.48 s / 185p   1.28 s / 201p
+    Q5     0.36 s / 49p    0.33 s / 59p
+    Q7     0.42 s / 46p    0.47 s / 51p
+
+Shape: when matches cluster in narrow regions, XB skipping works well
+and the two systems are comparable -- neither should be an order of
+magnitude worse than the other.
+"""
+
+from repro.bench.harness import environment
+from repro.bench.reporting import render_table
+
+PAPER = {
+    "Q1": (1.48, 185, 1.28, 201),
+    "Q5": (0.36, 49, 0.33, 59),
+    "Q7": (0.42, 46, 0.47, 51),
+}
+
+
+def test_table8_prix_vs_xb_clustered(benchmark):
+    results = {}
+    for qid in ("Q1", "Q5", "Q7"):
+        spec_corpus = {"Q1": "dblp", "Q5": "swissprot",
+                       "Q7": "treebank"}[qid]
+        env = environment(spec_corpus)
+        results[qid] = (env.run_prix(qid), env.run_twigstack_xb(qid))
+    benchmark.pedantic(
+        lambda: environment("swissprot").run_prix("Q5"),
+        rounds=1, iterations=1)
+
+    rows = []
+    for qid, (prix, xb) in results.items():
+        paper = PAPER[qid]
+        rows.append([
+            qid,
+            f"{prix.elapsed:.4f}s / {prix.pages}p",
+            f"{xb.elapsed:.4f}s / {xb.pages}p",
+            f"{paper[0]}s/{paper[1]}p vs {paper[2]}s/{paper[3]}p",
+        ])
+    render_table(
+        "Table 8: PRIX vs TwigStackXB (clustered solutions)",
+        ["Query", "PRIX (measured)", "TwigStackXB (measured)",
+         "Paper (PRIX vs XB)"],
+        rows)
+
+    for qid, (prix, xb) in results.items():
+        assert prix.matches == xb.matches, qid
+        # "Comparable performance": within an order of magnitude on I/O.
+        assert prix.pages <= max(10 * xb.pages, 50), qid

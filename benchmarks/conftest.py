@@ -1,0 +1,16 @@
+"""Benchmark-suite pytest configuration."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "src"))
+
+
+def pytest_sessionstart(session):
+    """Truncate the shared results file at the start of a bench run."""
+    results = os.path.join(os.path.dirname(__file__), "results.txt")
+    try:
+        open(results, "w", encoding="utf-8").close()
+    except OSError:
+        pass

@@ -1,0 +1,6 @@
+"""Repo-level pytest configuration: make src/ importable without install."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

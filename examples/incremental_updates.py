@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Incremental index maintenance: insert, delete, persist, reopen.
+
+Demonstrates the dynamic labeling scheme of Section 5.2.1 doing the job
+it exists for -- growing the virtual trie in place as new documents
+arrive -- plus deletion, scope underflow with rebuild recovery, and the
+save/open cycle.
+
+Run with::
+
+    python examples/incremental_updates.py
+"""
+
+import os
+import tempfile
+
+from repro import PrixIndex, parse_document
+from repro.prix.incremental import RebuildRequiredError
+from repro.prix.index import IndexOptions
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="prix-demo-")
+    path = os.path.join(workdir, "catalog.idx")
+
+    # Build with the dynamic labeler so trie node ranges keep slack for
+    # children that appear later (the default bulk labeler is gap-free
+    # and rejects inserts with RebuildRequiredError).
+    options = IndexOptions(labeler="dynamic", alpha=4, path=path)
+    initial = [parse_document(
+        f"<order id=\"{i}\"><customer>C{i % 3}</customer>"
+        f"<total>{100 + i}</total></order>", doc_id=i + 1)
+        for i in range(5)]
+    index = PrixIndex.build(initial, options)
+    print(f"built index over {index.doc_count} orders")
+    print(f"  rp trie: {index.trie_stats('rp').node_count} nodes")
+
+    # --- insert new documents without rebuilding ------------------------
+    index.insert_document(parse_document(
+        '<order id="99"><customer>C1</customer><total>500</total>'
+        "<rush>yes</rush></order>", doc_id=99))
+    matches = index.query('//order[./customer="C1"]')
+    print(f"\nafter insert: {len(matches)} orders for customer C1 "
+          f"(docs {sorted({m.doc_id for m in matches})})")
+    rush = index.query("//order/rush")
+    print(f"rush orders: {sorted({m.doc_id for m in rush})}")
+
+    # --- delete ----------------------------------------------------------
+    index.delete_document(1)
+    matches = index.query("//order/customer")
+    print(f"after deleting doc 1: {len(matches)} orders remain")
+
+    # --- persist and reopen ----------------------------------------------
+    index.save()
+    index.close()
+    reopened = PrixIndex.open(path)
+    print(f"\nreopened from {path}: {reopened.doc_count} documents")
+    reopened.insert_document(parse_document(
+        "<order id=\"100\"><customer>C2</customer>"
+        "<total>7</total></order>", doc_id=100))
+    print(f"insert after reopen works: doc 100 found = "
+          f"{any(m.doc_id == 100 for m in reopened.query('//order/total'))}")
+
+    # --- scope underflow and rebuild recovery ----------------------------
+    bulk_index = PrixIndex.build(
+        [parse_document("<a><b/></a>", 1)])  # bulk labels: no slack
+    try:
+        bulk_index.insert_document(parse_document("<x><y/></x>", 2))
+    except RebuildRequiredError as error:
+        print(f"\nbulk-labeled index refused the insert as expected:\n"
+              f"  {error}")
+        fresh = bulk_index.rebuilt()
+        print(f"rebuilt index holds {fresh.doc_count} documents; "
+              f"//x/y -> {len(fresh.query('//x/y'))} match")
+
+    reopened.close()
+    os.unlink(path)
+    os.rmdir(workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Branching twig queries over a SWISSPROT-like protein corpus.
+
+The scenario behind the paper's Q4-Q6: bushy entries, multi-branch
+twigs, and a side-by-side of all four engines (PRIX, ViST, TwigStack,
+TwigStackXB) on the same storage footing.
+
+Run with::
+
+    python examples/protein_twigs.py [n_entries]
+"""
+
+import sys
+import time
+
+from repro import PrixIndex, parse_xpath
+from repro.baselines.region import StreamSet, build_stream_entries
+from repro.baselines.twigstack import twig_stack
+from repro.baselines.twigstackxb import XBForest, twig_stack_xb
+from repro.baselines.vist import VistIndex
+from repro.datasets import swissprot
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+def cold(pool):
+    pool.flush_and_clear()
+    return pool.stats.physical_reads
+
+
+def main(n_entries=400):
+    corpus = swissprot(n_entries=n_entries)
+    docs = corpus.documents
+    print(f"corpus: {len(docs)} protein entries")
+
+    prix = PrixIndex.build(docs)
+    stream_pool = BufferPool(Pager.in_memory())
+    streams = StreamSet.build(docs, stream_pool)
+    xb_pool = BufferPool(Pager.in_memory())
+    forest = XBForest.build(build_stream_entries(docs), xb_pool)
+    vist_pool = BufferPool(Pager.in_memory())
+    vist = VistIndex.build(docs, vist_pool)
+
+    queries = [
+        '//Entry[./Keyword="Rhizomelic"]',
+        '//Entry/Ref[./Author="Mueller P"][./Author="Keller M"]',
+        '//Entry[./Org="Piroplasmida"][.//Author]//from',
+        "//Entry/Features//from",
+    ]
+    for xpath in queries:
+        pattern = parse_xpath(xpath)
+        print(f"\n{xpath}")
+
+        matches, stats = prix.query_with_stats(pattern, cold=True)
+        print(f"  PRIX        : {len(matches):4d} matches | "
+              f"{stats.elapsed_seconds * 1000:7.2f} ms | "
+              f"{stats.physical_reads:4d} pages | "
+              f"variant={stats.variant} strategy={stats.strategy}")
+
+        before = cold(vist_pool)
+        started = time.perf_counter()
+        vist_docs, vstats = vist.query(pattern)
+        elapsed = time.perf_counter() - started
+        print(f"  ViST        : {len(vist_docs):4d} docs    | "
+              f"{elapsed * 1000:7.2f} ms | "
+              f"{vist_pool.stats.physical_reads - before:4d} pages | "
+              f"{vstats.range_queries} range queries")
+
+        before = cold(stream_pool)
+        started = time.perf_counter()
+        ts_matches, _ = twig_stack(pattern, streams)
+        elapsed = time.perf_counter() - started
+        print(f"  TwigStack   : {len(ts_matches):4d} matches | "
+              f"{elapsed * 1000:7.2f} ms | "
+              f"{stream_pool.stats.physical_reads - before:4d} pages")
+
+        before = cold(xb_pool)
+        started = time.perf_counter()
+        xb_matches, xstats = twig_stack_xb(pattern, forest)
+        elapsed = time.perf_counter() - started
+        print(f"  TwigStackXB : {len(xb_matches):4d} matches | "
+              f"{elapsed * 1000:7.2f} ms | "
+              f"{xb_pool.stats.physical_reads - before:4d} pages | "
+              f"{xstats.coarse_advances} regions skipped")
+
+        assert len(ts_matches) == len(xb_matches) == len(matches)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: index a few XML documents and run twig queries.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import PrixIndex, parse_document, parse_xpath
+
+CATALOG = [
+    """<book year="1994">
+         <title>TCP/IP Illustrated</title>
+         <author><first>W.</first><last>Stevens</last></author>
+         <publisher>Addison-Wesley</publisher>
+       </book>""",
+    """<book year="2000">
+         <title>Data on the Web</title>
+         <author><first>Serge</first><last>Abiteboul</last></author>
+         <author><first>Peter</first><last>Buneman</last></author>
+         <publisher>Morgan Kaufmann</publisher>
+       </book>""",
+    """<article year="2004">
+         <title>PRIX: Indexing And Querying XML Using Prufer Sequences</title>
+         <author><first>Praveen</first><last>Rao</last></author>
+         <author><first>Bongki</first><last>Moon</last></author>
+         <venue>ICDE</venue>
+       </article>""",
+]
+
+
+def main():
+    # 1. Parse documents (the parser is part of this library: no external
+    #    XML dependencies).
+    documents = [parse_document(text, doc_id=i + 1)
+                 for i, text in enumerate(CATALOG)]
+
+    # 2. Build the PRIX index.  Both sequence variants are built: RPIndex
+    #    (Regular-Prufer) and EPIndex (Extended-Prufer, for value
+    #    predicates).  Storage is an in-memory paged file by default;
+    #    pass IndexOptions(path=...) for a disk file.
+    index = PrixIndex.build(documents)
+    print(f"indexed {index.doc_count} documents; "
+          f"variants: {index.variants()}")
+
+    # 3. Run twig queries.  Results are TwigMatch objects mapping each
+    #    query node to a postorder position in the matched document.
+    queries = [
+        "//book/author/last",
+        '//book[./publisher="Addison-Wesley"]/title',
+        "//article[./author]//last",
+        '//author[./last="Moon"]',
+        "//book[./author][./publisher]",
+    ]
+    for xpath in queries:
+        matches = index.query(parse_xpath(xpath))
+        docs = sorted({m.doc_id for m in matches})
+        print(f"\n  {xpath}")
+        print(f"    {len(matches)} match(es) in documents {docs}")
+        for match in matches[:3]:
+            print(f"    doc {match.doc_id}: root node "
+                  f"#{match.root_image}, images {match.images}")
+
+    # 4. Inspect how a query was executed.
+    matches, stats = index.query_with_stats(
+        '//book[./publisher="Addison-Wesley"]/title', cold=True)
+    print(f"\nexecution: variant={stats.variant} strategy={stats.strategy} "
+          f"arrangements={stats.arrangements} "
+          f"range_queries={stats.filter.range_queries} "
+          f"pages_read={stats.physical_reads}")
+
+
+if __name__ == "__main__":
+    main()

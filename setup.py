@@ -1,0 +1,5 @@
+"""Setuptools shim enabling legacy editable installs in offline envs."""
+
+from setuptools import setup
+
+setup()

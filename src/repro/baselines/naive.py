@@ -1,0 +1,159 @@
+"""Exhaustive twig matcher: the correctness oracle.
+
+Enumerates every *injective* embedding of a twig's named nodes into a
+document tree, honoring child/descendant axes, collapsed ``*`` steps and
+value predicates.  ``*`` existence-test leaves participate in the
+injective assignment but are stripped from the reported embedding,
+mirroring the PRIX engine's semantics (a twig occurrence is a set of
+distinct deletion events; star nodes are structural tests, not results).
+
+Embeddings are *LCA-preserving* (homeomorphic): distinct branches of a
+query node must map into distinct child subtrees of its image, i.e. the
+lowest common ancestor of two branch images is exactly the branch parent's
+image.  This is the semantics PRIX's sequence matching computes -- each
+branch contributes its own deletion event (chain top) under the shared
+image, and subsequence positions are strictly increasing -- and therefore
+the semantics the paper's match counts report.  (Plain XPath is laxer: it
+would also accept one branch nested inside another.)
+
+Ordered matching additionally requires the match's deletion events (the
+chain tops between each node's image and its parent's image) to appear in
+the same order as the twig's own postorder deletions -- exactly the
+condition PRIX's strictly-increasing subsequence positions impose.
+"""
+
+from __future__ import annotations
+
+from repro.query.twig import collapse, node_signatures
+from repro.xmlkit.tree import sequence_label
+
+
+def _label_ok(query_node, data_node):
+    if query_node.tag == "*" and not query_node.is_value:
+        return not data_node.is_value
+    if query_node.is_value != data_node.is_value:
+        return False
+    return query_node.tag == data_node.tag
+
+
+def _candidates_below(anchor, spec, query_node):
+    """Data nodes under ``anchor`` whose depth satisfies ``spec``."""
+    results = []
+    stack = [(child, 1) for child in anchor.children]
+    while stack:
+        node, depth = stack.pop()
+        if spec.admits(depth) and _label_ok(query_node, node):
+            results.append(node)
+        if spec.max_steps is None or depth < spec.max_steps:
+            stack.extend((child, depth + 1) for child in node.children)
+    return results
+
+
+def naive_matches(document, pattern, ordered=False, semantics="prix"):
+    """Return the set of embeddings of ``pattern`` in ``document``.
+
+    Each embedding is a frozenset of ``(signature_id, postorder)`` pairs
+    using :func:`~repro.query.twig.node_signatures` -- the same canonical
+    form the PRIX engine deduplicates on, so results compare directly.
+
+    ``semantics`` selects the match definition:
+
+    - ``"prix"`` (default): injective, LCA-preserving embeddings -- what
+      the PRIX sequence pipeline computes (see the module docstring),
+    - ``"xpath"``: plain XPath tree-pattern semantics, as computed by the
+      TwigStack family -- branches may nest and share data nodes.
+    """
+    collapsed = collapse(pattern)
+    query_nodes = collapsed.document.nodes_in_postorder()
+    query_root = collapsed.document.root
+    signatures = node_signatures(pattern)
+
+    if collapsed.absolute:
+        root_candidates = ([document.root]
+                           if _label_ok(query_root, document.root) else [])
+    else:
+        root_candidates = [node for node in document.root.iter_subtree()
+                           if _label_ok(query_root, node)]
+
+    results = set()
+    assignment = {}
+
+    def chain_tops():
+        """Chain top per non-root query node, in query postorder."""
+        tops = []
+        for query_node in query_nodes[:-1]:
+            image = assignment[id(query_node)]
+            parent_image = assignment[id(query_node.parent)]
+            top = image
+            while top.parent is not parent_image:
+                top = top.parent
+            tops.append((query_node, top))
+        return tops
+
+    def emit():
+        if semantics == "prix" or ordered:
+            tops = chain_tops()
+        if semantics == "prix":
+            # LCA preservation: sibling branches use distinct chain tops.
+            tops_by_parent = {}
+            for query_node, top in tops:
+                key = id(query_node.parent)
+                bucket = tops_by_parent.setdefault(key, set())
+                if id(top) in bucket:
+                    return
+                bucket.add(id(top))
+        if ordered:
+            events = [top.postorder for _, top in tops]
+            if any(a >= b for a, b in zip(events, events[1:])):
+                return
+        items = []
+        for query_node in query_nodes:
+            source = collapsed.source_of(query_node)
+            if source is None or source.is_star:
+                continue
+            items.append((signatures[id(source)],
+                          assignment[id(query_node)].postorder))
+        results.add(frozenset(items))
+
+    def extend(pending):
+        if not pending:
+            emit()
+            return
+        query_node = pending[0]
+        anchor = assignment[id(query_node.parent)]
+        spec = collapsed.spec_of(query_node)
+        if semantics == "prix":
+            used = {id(node) for node in assignment.values()}
+        else:
+            used = frozenset()
+        for candidate in _candidates_below(anchor, spec, query_node):
+            if id(candidate) in used:
+                continue
+            assignment[id(query_node)] = candidate
+            extend(pending[1:])
+            del assignment[id(query_node)]
+
+    # Process query nodes top-down (reverse postorder puts parents first).
+    top_down = [node for node in reversed(query_nodes)
+                if node is not query_root]
+    for root_candidate in root_candidates:
+        assignment[id(query_root)] = root_candidate
+        extend(top_down)
+        del assignment[id(query_root)]
+    return results
+
+
+def naive_match_count(documents, pattern, ordered=False):
+    """Total number of twig occurrences across a collection."""
+    return sum(len(naive_matches(document, pattern, ordered=ordered))
+               for document in documents)
+
+
+def label_histogram(documents):
+    """Sequence-label frequencies over a collection (workload tuning)."""
+    histogram = {}
+    for document in documents:
+        for node in document.nodes_in_postorder():
+            label = sequence_label(node)
+            histogram[label] = histogram.get(label, 0) + 1
+    return histogram

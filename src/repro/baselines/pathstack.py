@@ -1,0 +1,101 @@
+"""PathStack (Bruno, Koudas, Srivastava -- SIGMOD 2002, Algorithm 1).
+
+The linear-path special case of the holistic stack join, implemented as
+published rather than via TwigStack's getNext: at each step the query
+node with the minimal next start is taken, every stack is cleaned of
+elements that cannot be ancestors of it, and the element is pushed linked
+to the current top of its parent's stack.  Leaf pushes emit path
+solutions.  PathStack is I/O and CPU optimal for ancestor-descendant
+paths: each input element is touched exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.twigstack import (QueryNode, TwigJoinStats,
+                                       _solutions_to_matches,
+                                       build_query_tree)
+from repro.query.twig import Axis
+
+_INF = float("inf")
+
+
+def _chain_of(pattern):
+    root = build_query_tree(pattern)
+    chain = []
+    node = root
+    while True:
+        chain.append(node)
+        if not node.children:
+            break
+        if len(node.children) > 1:
+            raise ValueError("path_stack only handles linear path queries")
+        node = node.children[0]
+    return root, chain
+
+
+def path_stack(pattern, stream_set, stats=None):
+    """Run PathStack; return ``(matches, stats)`` like ``twig_stack``."""
+    if stats is None:
+        stats = TwigJoinStats()
+    root, chain = _chain_of(pattern)
+    for node in chain:
+        node.cursor = stream_set.stream(node.tag).cursor()
+    leaf = chain[-1]
+
+    solutions = []
+
+    def next_l(node):
+        head = node.cursor.head()
+        return head.start if head is not None else _INF
+
+    def expand(element, limit, depth):
+        """Emit all root-to-leaf combinations ending at ``element``.
+
+        Walks upward through the stacks, taking every ancestor below the
+        pointer recorded at push time, and enforcing parent/child level
+        constraints where the query uses the child axis.
+        """
+        partials = [([element], limit)]
+        for position in range(depth - 1, -1, -1):
+            parent = chain[position]
+            child_axis = chain[position + 1].axis
+            extended = []
+            for partial, bound in partials:
+                for index in range(bound):
+                    ancestor, ancestor_bound = parent.stack[index]
+                    # A node is not its own strict ancestor (same-tag
+                    # chains put one element on several stacks).
+                    if ancestor.start >= partial[-1].start:
+                        continue
+                    if child_axis is Axis.CHILD and \
+                            ancestor.level + 1 != partial[-1].level:
+                        continue
+                    extended.append((partial + [ancestor], ancestor_bound))
+            partials = extended
+        for partial, _ in partials:
+            solution = {chain[i]: element_at
+                        for i, element_at in enumerate(reversed(partial))}
+            solutions.append(solution)
+            stats.path_solutions += 1
+
+    while any(node.cursor.head() is not None for node in chain):
+        q_min = min(chain, key=next_l)
+        head = q_min.cursor.head()
+        if head is None:
+            break
+        stats.elements_scanned += 1
+        for node in chain:
+            while node.stack and node.stack[-1][0].end < head.start:
+                node.stack.pop()
+        depth = chain.index(q_min)
+        parent_size = len(chain[depth - 1].stack) if depth else 0
+        if depth == 0 or parent_size > 0:
+            q_min.stack.append((head, parent_size))
+            stats.elements_pushed += 1
+            if q_min is leaf:
+                expand(head, parent_size, depth)
+                q_min.stack.pop()
+        q_min.cursor.advance()
+
+    stats.merged_solutions = len(solutions)
+    return _solutions_to_matches(solutions, pattern, root), stats

@@ -1,0 +1,5 @@
+"""Benchmark harness: workloads, measurement, and table/figure rendering."""
+
+from repro.bench.workloads import QUERIES, QuerySpec, queries_for
+
+__all__ = ["QUERIES", "QuerySpec", "queries_for"]

@@ -1,0 +1,74 @@
+"""Data-driven query workload generation.
+
+The paper's future work asks how PRIX behaves "for different query
+characteristics such as the cardinality of result sets".  To study that,
+queries must exist at many selectivities; this module samples twig
+patterns from the indexed documents themselves, so every generated query
+has at least one match and cardinalities spread naturally.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.query.twig import Axis, TwigNode, TwigPattern
+
+
+def sample_twig(documents, rng, max_depth=3, branch_p=0.5,
+                descendant_p=0.3, value_p=0.25):
+    """Sample one twig pattern that occurs in ``documents``.
+
+    Picks a random node of a random document and grows a pattern along
+    its actual edges: a downward path with optional sibling branch,
+    occasionally generalizing a child edge to ``//`` or keeping a value
+    predicate.  Queries therefore vary in selectivity from one document
+    to most of the corpus.
+    """
+    for _ in range(64):
+        document = rng.choice(documents)
+        candidates = [node for node in document.nodes_in_postorder()
+                      if not node.is_value and node.children]
+        if candidates:
+            anchor = rng.choice(candidates)
+            pattern = _grow(anchor, rng, max_depth, branch_p,
+                            descendant_p, value_p)
+            if pattern is not None:
+                return pattern
+    raise ValueError("could not sample a twig from these documents")
+
+
+def _grow(anchor, rng, max_depth, branch_p, descendant_p, value_p):
+    root = TwigNode(anchor.tag)
+    count = _extend(root, anchor, rng, max_depth, branch_p,
+                    descendant_p, value_p)
+    if count == 0:
+        return None
+    return TwigPattern(root, absolute=False, source="sampled")
+
+
+def _extend(twig_node, data_node, rng, depth_left, branch_p,
+            descendant_p, value_p):
+    """Grow the twig along the data node's real children; returns how
+    many child steps were added."""
+    if depth_left <= 0 or not data_node.children:
+        return 0
+    added = 0
+    n_branches = 2 if (rng.random() < branch_p
+                       and len(data_node.children) >= 2) else 1
+    children = rng.sample(data_node.children,
+                          min(n_branches, len(data_node.children)))
+    for data_child in children:
+        if data_child.is_value:
+            if rng.random() < value_p:
+                twig_node.append(TwigNode(data_child.tag, axis=Axis.CHILD,
+                                          is_value=True))
+                added += 1
+            continue
+        axis = (Axis.DESCENDANT if rng.random() < descendant_p
+                else Axis.CHILD)
+        child = TwigNode(data_child.tag, axis=axis)
+        twig_node.append(child)
+        added += 1
+        _extend(child, data_child, rng, depth_left - 1, branch_p,
+                descendant_p, value_p)
+    return added

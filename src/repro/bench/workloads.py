@@ -1,0 +1,58 @@
+"""The nine XPath queries of Table 3, against the synthetic corpora.
+
+Each :class:`QuerySpec` mirrors one row of the paper's Table 3: the XPath
+text, the corpus it runs on, and its structural characteristics (node
+count, branch count, values, wildcards).  Match counts are *not* hardcoded
+-- the generators plant the needles, and ``tests/test_table3.py`` checks
+that the PRIX engine and the naive oracle agree on every count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One Table 3 row."""
+
+    qid: str
+    xpath: str
+    corpus: str
+    has_values: bool
+    description: str
+
+
+QUERIES = (
+    QuerySpec("Q1", '//inproceedings[./author="Jim Gray"][./year="1990"]',
+              "dblp", True, "twig, 5 nodes, 2 branches, values"),
+    QuerySpec("Q2", "//www[./editor]/url",
+              "dblp", False, "twig, 3 nodes, 2 branches, no values"),
+    QuerySpec("Q3", '//title[text()="Semantic Analysis Patterns"]',
+              "dblp", True, "path, 2 nodes, value"),
+    QuerySpec("Q4", '//Entry[./Keyword="Rhizomelic"]',
+              "swissprot", True, "path, 3 nodes, value"),
+    QuerySpec("Q5", '//Entry/Ref[./Author="Mueller P"][./Author="Keller M"]',
+              "swissprot", True, "twig, 6 nodes, 2 branches, values"),
+    QuerySpec("Q6", '//Entry[./Org="Piroplasmida"][.//Author]//from',
+              "swissprot", True, "twig, 5 nodes, 3 branches, value, //"),
+    QuerySpec("Q7", "//S//NP/SYM",
+              "treebank", False, "path, 3 nodes, two //"),
+    QuerySpec("Q8", "//NP[./RBR_OR_JJR]/PP",
+              "treebank", False, "twig, 3 nodes, 2 branches, parent/child"),
+    QuerySpec("Q9", "//NP/PP/NP[./NNS_OR_NN][./NN]",
+              "treebank", False, "twig, 5 nodes, 2 branches"),
+)
+
+
+def queries_for(corpus_name):
+    """The Table 3 queries that run against ``corpus_name``."""
+    return tuple(spec for spec in QUERIES if spec.corpus == corpus_name)
+
+
+def query_by_id(qid):
+    """The QuerySpec with the given Table 3 id."""
+    for spec in QUERIES:
+        if spec.qid == qid:
+            return spec
+    raise KeyError(qid)

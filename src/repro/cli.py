@@ -1,0 +1,244 @@
+"""Command-line interface for the PRIX index.
+
+Usage::
+
+    python -m repro.cli build INDEX.idx doc1.xml doc2.xml ...
+    python -m repro.cli build INDEX.idx --corpus dblp --scale small
+    python -m repro.cli query INDEX.idx '//book[./author="Knuth"]/title'
+    python -m repro.cli stats INDEX.idx
+
+``build`` indexes XML files (one document each) or one of the bundled
+synthetic corpora; ``query`` runs a twig query and prints matches with
+execution statistics; ``stats`` summarizes a saved index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import get_corpus, list_corpora
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.query.xpath import parse_xpath
+from repro.xmlkit.parser import parse_document, split_documents
+
+
+def _cmd_build(args):
+    if args.corpus:
+        corpus = get_corpus(args.corpus, args.scale)
+        documents = corpus.documents
+        print(f"generated corpus {args.corpus!r} "
+              f"({len(documents)} documents)")
+    elif args.files:
+        documents = []
+        for path in args.files:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            if args.split:
+                documents.extend(split_documents(
+                    text, start_id=len(documents) + 1))
+            else:
+                documents.append(parse_document(text,
+                                                len(documents) + 1))
+        print(f"parsed {len(documents)} document(s)")
+    else:
+        print("error: provide XML files or --corpus", file=sys.stderr)
+        return 2
+
+    options = IndexOptions(path=args.index,
+                           page_size=args.page_size,
+                           labeler=args.labeler)
+    index = PrixIndex.build(documents, options)
+    index.save()
+    for variant in index.variants():
+        stats = index.trie_stats(variant)
+        print(f"  {variant}: {stats.node_count} trie nodes over "
+              f"{stats.total_sequence_length} sequence symbols")
+    index.close()
+    print(f"index written to {args.index}")
+    return 0
+
+
+def _cmd_query(args):
+    index = PrixIndex.open(args.index)
+    try:
+        pattern = parse_xpath(args.xpath)
+        matches, stats = index.query_with_stats(
+            pattern, ordered=args.ordered, variant=args.variant,
+            use_maxgap=not args.no_maxgap, cold=args.cold)
+        by_doc = {}
+        for match in matches:
+            by_doc.setdefault(match.doc_id, []).append(match)
+        print(f"{len(matches)} match(es) in {len(by_doc)} document(s)")
+        limit = args.limit
+        shown = 0
+        for doc_id in sorted(by_doc):
+            for match in by_doc[doc_id]:
+                if shown >= limit:
+                    print(f"  ... ({len(matches) - shown} more)")
+                    return 0
+                print(f"  doc {doc_id}: {dict(match.images)}")
+                shown += 1
+        if args.explain:
+            print(f"\nvariant={stats.variant} strategy={stats.strategy} "
+                  f"arrangements={stats.arrangements}")
+            print(f"filter: {stats.filter.range_queries} range queries, "
+                  f"{stats.filter.nodes_visited} trie nodes, "
+                  f"{stats.filter.pruned_by_maxgap} pruned by MaxGap")
+            print(f"refinement: {stats.candidates_refined} candidates, "
+                  f"{stats.candidates_accepted} accepted")
+            print(f"I/O: {stats.physical_reads} pages read "
+                  f"({'cold' if args.cold else 'warm'}); "
+                  f"elapsed {stats.elapsed_seconds * 1000:.2f} ms")
+        return 0
+    finally:
+        index.close()
+
+
+def _cmd_insert(args):
+    index = PrixIndex.open(args.index)
+    try:
+        doc_id = args.doc_id
+        if doc_id is None:
+            doc_id = (max(index._doc_ids) + 1) if index._doc_ids else 1
+        with open(args.file, "r", encoding="utf-8") as handle:
+            document = parse_document(handle.read(), doc_id)
+        from repro.prix.incremental import RebuildRequiredError
+        try:
+            index.insert_document(document)
+        except RebuildRequiredError as error:
+            print(f"error: {error}\nthe index has no insertion slack; "
+                  f"rebuild it with --labeler dynamic", file=sys.stderr)
+            return 1
+        index.save()
+        print(f"inserted document {doc_id}; index now holds "
+              f"{index.doc_count} documents")
+        return 0
+    finally:
+        index.close()
+
+
+def _cmd_delete(args):
+    index = PrixIndex.open(args.index)
+    try:
+        index.delete_document(args.doc_id)
+        index.save()
+        print(f"deleted document {args.doc_id}; index now holds "
+              f"{index.doc_count} documents")
+        return 0
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        index.close()
+
+
+def _cmd_explain(args):
+    from repro.prix.explain import explain
+    index = PrixIndex.open(args.index)
+    try:
+        print(explain(index, args.xpath, variant=args.variant), end="")
+        return 0
+    finally:
+        index.close()
+
+
+def _cmd_stats(args):
+    index = PrixIndex.open(args.index)
+    try:
+        print(f"documents: {index.doc_count}")
+        for variant in index.variants():
+            stats = index.trie_stats(variant)
+            kind = ("Extended-Prufer (EPIndex)" if variant == "ep"
+                    else "Regular-Prufer (RPIndex)")
+            print(f"\n{variant} -- {kind}")
+            print(f"  sequences        : {stats.sequence_count}")
+            print(f"  total symbols    : {stats.total_sequence_length}")
+            print(f"  trie nodes       : {stats.node_count}")
+            print(f"  root-leaf paths  : {stats.path_count}")
+            print(f"  best path sharing: {stats.max_path_sharing} docs")
+        return 0
+    finally:
+        index.close()
+
+
+def make_parser():
+    """Build the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="prix", description="PRIX XML twig-query index (ICDE 2004)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build and save an index")
+    build.add_argument("index", help="output index file")
+    build.add_argument("files", nargs="*", help="XML files (one doc each)")
+    build.add_argument("--corpus", choices=list_corpora(),
+                       help="use a bundled synthetic corpus instead")
+    build.add_argument("--scale", default="small",
+                       help="corpus scale (tiny/small/medium/large or int)")
+    build.add_argument("--page-size", type=int, default=8192)
+    build.add_argument("--split", action="store_true",
+                       help="treat each root child as its own document "
+                            "(DBLP-style corpus files)")
+    build.add_argument("--labeler", choices=["bulk", "dynamic"],
+                       default="bulk",
+                       help="trie labeling: 'dynamic' leaves slack for "
+                            "later 'insert' commands")
+    build.set_defaults(func=_cmd_build)
+
+    query = commands.add_parser("query", help="run a twig query")
+    query.add_argument("index", help="index file")
+    query.add_argument("xpath", help="XPath-subset twig query")
+    query.add_argument("--ordered", action="store_true",
+                       help="match the twig's branch order only")
+    query.add_argument("--variant", choices=["rp", "ep"],
+                       help="force an index variant")
+    query.add_argument("--no-maxgap", action="store_true",
+                       help="disable Theorem 4 pruning")
+    query.add_argument("--cold", action="store_true",
+                       help="flush the buffer pool first")
+    query.add_argument("--limit", type=int, default=20,
+                       help="max matches to print")
+    query.add_argument("--explain", action="store_true",
+                       help="print execution statistics")
+    query.set_defaults(func=_cmd_query)
+
+    insert = commands.add_parser(
+        "insert", help="insert one XML document into a saved index "
+                       "(requires an index built with --labeler dynamic)")
+    insert.add_argument("index", help="index file")
+    insert.add_argument("file", help="XML file (one document)")
+    insert.add_argument("--doc-id", type=int, default=None,
+                        help="document id (default: next free)")
+    insert.set_defaults(func=_cmd_insert)
+
+    delete = commands.add_parser(
+        "delete", help="remove one document from a saved index")
+    delete.add_argument("index", help="index file")
+    delete.add_argument("doc_id", type=int, help="document id")
+    delete.set_defaults(func=_cmd_delete)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="show the execution plan for a query")
+    explain_cmd.add_argument("index", help="index file")
+    explain_cmd.add_argument("xpath", help="XPath-subset twig query")
+    explain_cmd.add_argument("--variant", choices=["rp", "ep"])
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    stats = commands.add_parser("stats", help="summarize a saved index")
+    stats.add_argument("index", help="index file")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = make_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

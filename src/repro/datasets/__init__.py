@@ -1,0 +1,36 @@
+"""Synthetic corpora mirroring the paper's datasets (Table 2).
+
+The paper uses DBLP, SWISSPROT and TREEBANK from the University of
+Washington repository.  Those files are not redistributable here, so each
+generator reproduces the *structural signature* the experiments depend on:
+
+- :func:`dblp` -- many small, shallow records with highly similar
+  structure (the trie-sharing regime of Section 6.4.2),
+- :func:`swissprot` -- bushy, shallow entries with heavy attribute use,
+- :func:`treebank` -- skinny, deep trees with recursive element names.
+
+All generators are deterministic given a seed, and plant the specific
+needles (authors, keywords, organisms...) that queries Q1-Q9 look for.
+"""
+
+from repro.datasets.base import Corpus, corpus_stats
+from repro.datasets.dblp import dblp
+from repro.datasets.examples import (figure1_documents, figure1_query,
+                                     figure2_document, figure2_query)
+from repro.datasets.registry import get_corpus, list_corpora
+from repro.datasets.swissprot import swissprot
+from repro.datasets.treebank import treebank
+
+__all__ = [
+    "Corpus",
+    "corpus_stats",
+    "dblp",
+    "figure1_documents",
+    "figure1_query",
+    "figure2_document",
+    "figure2_query",
+    "get_corpus",
+    "list_corpora",
+    "swissprot",
+    "treebank",
+]

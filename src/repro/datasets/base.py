@@ -1,0 +1,74 @@
+"""Corpus container and the Table 2 statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlkit.parser import ATTRIBUTE_PREFIX
+from repro.xmlkit.serializer import serialize
+
+
+@dataclass
+class Corpus:
+    """A named collection of documents plus its generation parameters."""
+
+    name: str
+    documents: list
+    params: dict
+
+    def __len__(self):
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)
+
+
+@dataclass
+class CorpusStats:
+    """The columns of the paper's Table 2 for one corpus."""
+
+    name: str
+    size_bytes: int
+    n_elements: int
+    n_attributes: int
+    max_depth: int
+    n_sequences: int
+
+    @property
+    def size_mbytes(self):
+        """Serialized size in mebibytes."""
+        return self.size_bytes / (1024 * 1024)
+
+
+def corpus_stats(corpus):
+    """Compute the Table 2 row for a corpus.
+
+    Elements and attributes are counted the way the paper does: attribute
+    nodes (the parser's ``@``-prefixed subelements) count as attributes,
+    all other element nodes count as elements; value nodes count as
+    neither.  Size is the serialized XML byte count.
+    """
+    size_bytes = 0
+    n_elements = 0
+    n_attributes = 0
+    max_depth = 0
+    for document in corpus.documents:
+        size_bytes += len(serialize(document).encode("utf-8"))
+        for node in document.nodes_in_postorder():
+            if node.is_value:
+                continue
+            if node.tag.startswith(ATTRIBUTE_PREFIX):
+                n_attributes += 1
+            else:
+                n_elements += 1
+        depth = document.max_depth()
+        if depth > max_depth:
+            max_depth = depth
+    return CorpusStats(
+        name=corpus.name,
+        size_bytes=size_bytes,
+        n_elements=n_elements,
+        n_attributes=n_attributes,
+        max_depth=max_depth,
+        n_sequences=len(corpus.documents),
+    )

@@ -1,0 +1,166 @@
+"""DBLP-like corpus: shallow, highly similar bibliography records.
+
+Structural signature reproduced from the paper's DBLP snapshot:
+
+- one document per bibliography record (inproceedings / article / www /
+  book), so the corpus is many small trees,
+- records of the same kind share structure almost exactly, producing the
+  heavy root-to-leaf path sharing in the Regular-Prufer trie that
+  Section 6.4.2 credits for Q2's speed,
+- ``www`` records are rare and *scattered* through the document-id space,
+  and only a fraction of them carry an ``editor`` -- the distribution that
+  forces TwigStackXB to drill down (Table 9),
+- the needles for Q1 ("Jim Gray" + "1990"), Q2 (www/editor/url) and Q3
+  (the title "Semantic Analysis Patterns") are planted deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import Corpus
+from repro.xmlkit.parser import ATTRIBUTE_PREFIX
+from repro.xmlkit.tree import Document, XMLNode, element, value
+
+_FIRST = ["Alan", "Barbara", "Chen", "Dana", "Edgar", "Fatima", "Grace",
+          "Hiro", "Irene", "Jim", "Klaus", "Lena", "Moshe", "Nadia",
+          "Otto", "Priya", "Quentin", "Rosa", "Stefan", "Tara"]
+_LAST = ["Turing", "Liskov", "Wu", "Scott", "Codd", "Haddad", "Hopper",
+         "Tanaka", "Greif", "Gray", "Knuth", "Meier", "Vardi", "Petrov",
+         "Wagner", "Rao", "Moon", "Diaz", "Ullman", "Chandra"]
+_TITLE_WORDS = ["Adaptive", "Query", "Processing", "Indexing", "Semantic",
+                "Streams", "Optimization", "Databases", "Distributed",
+                "Concurrency", "Recovery", "Views", "Joins", "Caching",
+                "Patterns", "Analysis", "Mining", "Transactions"]
+_VENUES = ["SIGMOD", "VLDB", "ICDE", "PODS", "EDBT", "CIKM"]
+
+#: The needle values the Table 3 query analogues look for.
+NEEDLE_AUTHOR = "Jim Gray"
+NEEDLE_YEAR = "1990"
+NEEDLE_TITLE = "Semantic Analysis Patterns"
+
+
+def _attr(name, text):
+    node = XMLNode(ATTRIBUTE_PREFIX + name)
+    node.append(value(text))
+    return node
+
+
+def _field(tag, text):
+    node = element(tag)
+    node.append(value(text))
+    return node
+
+
+def _person(rng):
+    # Never emit the planted needle author by chance, so the Q1 match
+    # count stays exactly the number of planted records.
+    while True:
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        if name != NEEDLE_AUTHOR:
+            return name
+
+
+def _title(rng):
+    while True:
+        words = rng.sample(_TITLE_WORDS, rng.randint(3, 5))
+        title = " ".join(words)
+        if title != NEEDLE_TITLE:
+            return title
+
+
+def _inproceedings(rng, key, author_override=None, year_override=None,
+                   title_override=None):
+    record = element("inproceedings")
+    record.append(_attr("key", key))
+    authors = [author_override] if author_override else []
+    for _ in range(rng.randint(1, 3)):
+        authors.append(_person(rng))
+    for author in authors:
+        record.append(_field("author", author))
+    record.append(_field("title", title_override or _title(rng)))
+    record.append(_field("booktitle", rng.choice(_VENUES)))
+    record.append(_field("year", year_override or str(rng.randint(1970, 2003))))
+    if rng.random() < 0.7:
+        record.append(_field("pages", f"{rng.randint(1, 400)}-"
+                                      f"{rng.randint(401, 800)}"))
+    if rng.random() < 0.4:
+        record.append(_field("ee", f"db/conf/x/{key}.html"))
+    # url tags abound outside www records too (Section 6.4.2: "editor
+    # and url occurred frequently in the dataset and were present around
+    # the documents with www elements").
+    if rng.random() < 0.45:
+        record.append(_field("url", f"db/conf/x/{key}"))
+    return record
+
+
+def _article(rng, key):
+    record = element("article")
+    record.append(_attr("key", key))
+    for _ in range(rng.randint(1, 4)):
+        record.append(_field("author", _person(rng)))
+    record.append(_field("title", _title(rng)))
+    record.append(_field("journal", "TODS" if rng.random() < 0.5 else "TKDE"))
+    record.append(_field("volume", str(rng.randint(1, 30))))
+    record.append(_field("year", str(rng.randint(1970, 2003))))
+    if rng.random() < 0.5:
+        record.append(_field("url", f"db/journals/x/{key}"))
+    if rng.random() < 0.15:
+        # Special-issue editors: the editor tag is not unique to www.
+        record.append(_field("editor", _person(rng)))
+    return record
+
+
+def _www(rng, key, with_editor):
+    record = element("www")
+    record.append(_attr("key", key))
+    if with_editor:
+        record.append(_field("editor", _person(rng)))
+    record.append(_field("title", _title(rng)))
+    record.append(_field("url", f"http://dblp.example/{key}"))
+    return record
+
+
+def dblp(n_records=2000, seed=20040301, www_fraction=0.02,
+         www_editor_fraction=0.3, q1_matches=6, q3_matches=1):
+    """Generate a DBLP-like corpus of ``n_records`` record documents.
+
+    The Q1 needle (``author="Jim Gray"`` and ``year="1990"``) is planted in
+    exactly ``q1_matches`` inproceedings records; the Q3 needle title in
+    exactly ``q3_matches`` records.  ``www`` records make up
+    ``www_fraction`` of the corpus, scattered evenly, and only
+    ``www_editor_fraction`` of those carry an editor.
+    """
+    rng = random.Random(seed)
+    documents = []
+    n_www = max(1, int(n_records * www_fraction))
+    www_positions = set(
+        int((i + 0.5) * n_records / n_www) for i in range(n_www))
+    q1_positions = set(rng.sample(
+        [i for i in range(n_records) if i not in www_positions],
+        q1_matches))
+    q3_positions = set(rng.sample(
+        sorted(set(range(n_records)) - www_positions - q1_positions),
+        q3_matches))
+
+    www_seen = 0
+    for position in range(n_records):
+        key = f"rec/{position:07d}"
+        if position in www_positions:
+            with_editor = (www_seen % max(1, int(1 / www_editor_fraction))) == 0
+            record = _www(rng, key, with_editor)
+            www_seen += 1
+        elif position in q1_positions:
+            record = _inproceedings(rng, key, author_override=NEEDLE_AUTHOR,
+                                    year_override=NEEDLE_YEAR)
+        elif position in q3_positions:
+            record = _inproceedings(rng, key, title_override=NEEDLE_TITLE)
+        elif rng.random() < 0.6:
+            record = _inproceedings(rng, key)
+        else:
+            record = _article(rng, key)
+        documents.append(Document(record, doc_id=position + 1))
+
+    return Corpus(name="dblp", documents=documents,
+                  params={"n_records": n_records, "seed": seed,
+                          "q1_matches": q1_matches, "q3_matches": q3_matches})

@@ -1,0 +1,100 @@
+"""The paper's running examples as ready-made documents.
+
+- :func:`figure2_document` -- the 15-node tree T of Figure 2(a), whose
+  LPS/NPS the paper works through in Examples 1-6,
+- :func:`figure2_query` -- the query twig Q of Figure 2(b),
+- :func:`figure1_documents` -- a (Doc1, Doc2) pair exhibiting the false
+  alarm of Figure 1(b): the twig occurs in Doc1 only, but ViST's
+  structure-encoded subsequence matching also reports Doc2.
+"""
+
+from __future__ import annotations
+
+from repro.query.twig import Axis, TwigNode, TwigPattern
+from repro.xmlkit.tree import Document, element
+
+
+def figure2_document(doc_id=1):
+    """The tree T of Figure 2(a), reconstructed from its sequences.
+
+    The paper gives LPS(T) = A C B C C B A C A E E E D A and
+    NPS(T) = 15 3 7 6 6 7 15 9 15 13 13 13 14 15, which determine the
+    shape and every internal label.  The labels of the two leaves the
+    paper's Example 6 does not list (nodes 1 and 8) are not derivable
+    from the sequences; we use C and F respectively.
+    """
+    root = element("A")                       # node 15
+    root.append(element("C"))                 # node 1 (leaf child of root)
+    b = element("B")                          # node 7
+    c3 = element("C")                         # node 3
+    c3.append(element("D"))                   # node 2
+    c6 = element("C")                         # node 6
+    c6.append(element("D"))                   # node 4
+    c6.append(element("E"))                   # node 5
+    b.append(c3)
+    b.append(c6)
+    root.append(b)
+    c9 = element("C")                         # node 9
+    c9.append(element("F"))                   # node 8
+    root.append(c9)
+    d14 = element("D")                        # node 14
+    e13 = element("E")                        # node 13
+    e13.append(element("G"))                  # node 10
+    e13.append(element("F"))                  # node 11
+    e13.append(element("F"))                  # node 12
+    d14.append(e13)
+    root.append(d14)
+    return Document(root, doc_id=doc_id)
+
+
+def figure2_query():
+    """The query twig Q of Figure 2(b).
+
+    From Examples 2 and 6: LPS(Q) = B A E D A, NPS(Q) = 2 6 4 5 6, with
+    leaves (C, 1) and (F, 3) -- i.e. A[ B/C ][ D/E/F ] as an ordered twig.
+    """
+    root = TwigNode("A")
+    b = TwigNode("B")
+    b.append(TwigNode("C"))
+    d = TwigNode("D")
+    e = TwigNode("E")
+    e.append(TwigNode("F"))
+    d.append(e)
+    root.append(b)
+    root.append(d)
+    return TwigPattern(root, absolute=False, source="figure2")
+
+
+def figure1_documents():
+    """A (Doc1, Doc2) pair reproducing the Figure 1(b) false alarm.
+
+    The twig ``//B[./C][./D]`` occurs in Doc1 (one B with both children).
+    In Doc2 the C and the D hang under *different* B elements, yet the
+    structure-encoded sequence of the query,
+    ``(B, A)(C, AB)(D, AB)``, is still a subsequence of Doc2's sequence
+    ``(A, e)(B, A)(C, AB)(B, A)(D, AB)`` -- ViST reports a false alarm,
+    PRIX's refinement rejects it.
+    """
+    doc1_root = element("A")
+    b = element("B")
+    b.append(element("C"))
+    b.append(element("D"))
+    doc1_root.append(b)
+
+    doc2_root = element("A")
+    b1 = element("B")
+    b1.append(element("C"))
+    b2 = element("B")
+    b2.append(element("D"))
+    doc2_root.append(b1)
+    doc2_root.append(b2)
+
+    return Document(doc1_root, doc_id=1), Document(doc2_root, doc_id=2)
+
+
+def figure1_query():
+    """The twig used by :func:`figure1_documents`: ``//B[./C][./D]``."""
+    root = TwigNode("B")
+    root.append(TwigNode("C", axis=Axis.CHILD))
+    root.append(TwigNode("D", axis=Axis.CHILD))
+    return TwigPattern(root, absolute=False, source="//B[./C][./D]")

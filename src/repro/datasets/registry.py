@@ -1,0 +1,48 @@
+"""Corpus registry with the scales the benchmark harness uses.
+
+Scales keep the corpora laptop-sized while preserving each dataset's
+structural signature; the benchmark harness defaults to ``"medium"``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.dblp import dblp
+from repro.datasets.swissprot import swissprot
+from repro.datasets.treebank import treebank
+
+_SCALES = {
+    "tiny": {"dblp": 120, "swissprot": 40, "treebank": 60},
+    "small": {"dblp": 600, "swissprot": 150, "treebank": 250},
+    "medium": {"dblp": 2000, "swissprot": 600, "treebank": 800},
+    "large": {"dblp": 8000, "swissprot": 2400, "treebank": 3000},
+}
+
+_GENERATORS = {
+    "dblp": lambda n: dblp(n_records=n),
+    "swissprot": lambda n: swissprot(n_entries=n),
+    "treebank": lambda n: treebank(n_sentences=n),
+}
+
+
+def list_corpora():
+    """Names of the available corpus generators."""
+    return sorted(_GENERATORS)
+
+
+def get_corpus(name, scale="medium"):
+    """Instantiate a corpus by name at a registered scale.
+
+    ``scale`` may also be an integer document count.
+    """
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown corpus {name!r}; try one of {list_corpora()}")
+    if isinstance(scale, int):
+        count = scale
+    else:
+        try:
+            count = _SCALES[scale][name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scale {scale!r}; try one of {sorted(_SCALES)}"
+            ) from None
+    return _GENERATORS[name](count)

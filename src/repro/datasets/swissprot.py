@@ -1,0 +1,155 @@
+"""SWISSPROT-like corpus: bushy, shallow, attribute-heavy protein entries.
+
+Structural signature reproduced from the paper's SWISSPROT snapshot:
+
+- one document per protein ``Entry``; entries are *bushy* (many children
+  under the root and under ``Features``) and shallow (max depth ~5),
+- roughly 0.74 attributes per element (the paper's snapshot has 2.19M
+  attributes for 2.98M elements), modeled with ``@id``/``@type`` etc.,
+- references carry multiple ``Author`` children -- the needle structure
+  for Q5, which searches for a Ref with two specific coauthors,
+- entries with ``Org="Piroplasmida"`` are scattered and only a few of
+  them also have Author descendants plus ``from`` fields, while Author
+  and from tags abound *near* them in other entries: the distribution
+  that defeats TwigStackXB's skipping on Q6 (Section 6.4.2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import Corpus
+from repro.xmlkit.parser import ATTRIBUTE_PREFIX
+from repro.xmlkit.tree import Document, XMLNode, element, value
+
+_AUTHORS = ["Smith J", "Chen L", "Okada T", "Varga B", "Novak P",
+            "Silva M", "Dubois C", "Hansen K", "Rossi G", "Kim S",
+            "Mueller P", "Keller M", "Weber H", "Olsen N", "Braun F"]
+_ORGS = ["Eukaryota", "Metazoa", "Chordata", "Mammalia", "Primates",
+         "Rodentia", "Bacteria", "Proteobacteria", "Fungi", "Viridiplantae",
+         "Apicomplexa"]
+_KEYWORDS = ["Hydrolase", "Kinase", "Membrane", "Transport", "Zinc",
+             "Repeat", "Signal", "Glycoprotein", "Phosphorylation",
+             "Transferase", "Oxidoreductase"]
+_FEATURE_TYPES = ["DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "BINDING",
+                  "ACT_SITE", "CARBOHYD", "DISULFID"]
+
+NEEDLE_KEYWORD = "Rhizomelic"
+NEEDLE_ORG = "Piroplasmida"
+NEEDLE_AUTHOR_A = "Mueller P"
+NEEDLE_AUTHOR_B = "Keller M"
+
+
+def _attr(name, text):
+    node = XMLNode(ATTRIBUTE_PREFIX + name)
+    node.append(value(text))
+    return node
+
+
+def _field(tag, text):
+    node = element(tag)
+    node.append(value(text))
+    return node
+
+
+def _ref(rng, number, authors=None):
+    ref = element("Ref")
+    ref.append(_attr("num", str(number)))
+    names = list(authors or [])
+    n_random = rng.randint(1, 3) if not names else rng.randint(0, 2)
+    for _ in range(n_random):
+        name = rng.choice(_AUTHORS)
+        if name not in (NEEDLE_AUTHOR_A, NEEDLE_AUTHOR_B):
+            names.append(name)
+    for name in names:
+        ref.append(_field("Author", name))
+    ref.append(_field("Cite", f"Bib{rng.randint(1, 9999)}"))
+    ref.append(_field("MedlineID", str(rng.randint(10 ** 6, 10 ** 7))))
+    return ref
+
+
+def _feature(rng, with_from=True):
+    feature = element(rng.choice(_FEATURE_TYPES))
+    feature.append(_attr("status", "predicted" if rng.random() < 0.3
+                         else "experimental"))
+    if with_from:
+        feature.append(_field("from", str(rng.randint(1, 400))))
+        feature.append(_field("to", str(rng.randint(401, 900))))
+    feature.append(_field("Descr", f"site {rng.randint(1, 99)}"))
+    return feature
+
+
+def _entry(rng, entry_id, *, orgs, keywords, refs, n_features,
+           features_with_from):
+    entry = element("Entry")
+    entry.append(_attr("id", f"P{entry_id:06d}"))
+    entry.append(_attr("class", "STANDARD"))
+    entry.append(_field("AC", f"Q{rng.randint(10000, 99999)}"))
+    entry.append(_field("Mod", f"{rng.randint(1, 28)}-{rng.randint(1, 12)}"
+                               f"-{rng.randint(1986, 2003)}"))
+    for org in orgs:
+        entry.append(_field("Org", org))
+    for keyword in keywords:
+        entry.append(_field("Keyword", keyword))
+    for ref in refs:
+        entry.append(ref)
+    features = element("Features")
+    for index in range(n_features):
+        features.append(_feature(rng, with_from=index < features_with_from))
+    entry.append(features)
+    return entry
+
+
+def swissprot(n_entries=600, seed=19860721, q4_matches=3, q5_matches=5,
+              piroplasmida_entries=8, piroplasmida_full=2):
+    """Generate a SWISSPROT-like corpus of ``n_entries`` Entry documents.
+
+    - ``q4_matches`` entries carry the Q4 keyword needle,
+    - ``q5_matches`` references (in distinct entries) carry both Q5
+      coauthors,
+    - ``piroplasmida_entries`` entries carry ``Org="Piroplasmida"``
+      scattered through the corpus, of which only ``piroplasmida_full``
+      also have Author descendants *and* ``from`` fields (the Q6 shape);
+      the rest lack one of the two, forcing merge-style engines to probe.
+    """
+    rng = random.Random(seed)
+    positions = list(range(n_entries))
+    piro_positions = [int((i + 0.5) * n_entries / piroplasmida_entries)
+                      for i in range(piroplasmida_entries)]
+    remaining = [p for p in positions if p not in set(piro_positions)]
+    q4_positions = set(rng.sample(remaining, q4_matches))
+    remaining = [p for p in remaining if p not in q4_positions]
+    q5_positions = set(rng.sample(remaining, q5_matches))
+
+    documents = []
+    piro_full = set(piro_positions[:piroplasmida_full])
+    for position in positions:
+        orgs = rng.sample(_ORGS, rng.randint(1, 3))
+        keywords = rng.sample(_KEYWORDS, rng.randint(1, 4))
+        refs = [_ref(rng, i + 1) for i in range(rng.randint(1, 3))]
+        n_features = rng.randint(3, 8)
+        features_with_from = n_features  # 'from' abounds, as in the paper
+
+        if position in set(piro_positions):
+            orgs = [NEEDLE_ORG] + orgs
+            if position not in piro_full:
+                # Near-miss entries: Piroplasmida but no Author descendants
+                # (references stripped) -- TwigStackXB must drill down to
+                # reject these.
+                refs = []
+        if position in q4_positions:
+            keywords = [NEEDLE_KEYWORD] + keywords
+        if position in q5_positions:
+            refs.append(_ref(rng, len(refs) + 1,
+                             authors=[NEEDLE_AUTHOR_A, NEEDLE_AUTHOR_B]))
+
+        entry = _entry(rng, position + 1, orgs=orgs, keywords=keywords,
+                       refs=refs, n_features=n_features,
+                       features_with_from=features_with_from)
+        documents.append(Document(entry, doc_id=position + 1))
+
+    return Corpus(name="swissprot", documents=documents,
+                  params={"n_entries": n_entries, "seed": seed,
+                          "q4_matches": q4_matches, "q5_matches": q5_matches,
+                          "piroplasmida_entries": piroplasmida_entries,
+                          "piroplasmida_full": piroplasmida_full})

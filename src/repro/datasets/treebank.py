@@ -1,0 +1,164 @@
+"""TREEBANK-like corpus: skinny, deep trees with recursive element names.
+
+Structural signature reproduced from the paper's TREEBANK snapshot:
+
+- one document per parsed sentence; trees are narrow but *deep* (the
+  paper's file reaches depth 36) with heavy recursion of S/NP/VP/PP,
+- leaf values stand in for the encrypted PCDATA of the original (opaque
+  ``VALnnnn`` tokens); queries Q7-Q9 are value-free, as in the paper,
+- the needles are structural: scattered ``NP/SYM`` chains under recursive
+  ``S`` (Q7), rare ``RBR_OR_JJR`` siblings of ``PP`` under ``NP`` (Q8) --
+  including many near-misses where NP is an ancestor but *not* the parent
+  of both, the sub-optimality trap of Section 6.4.2 -- and
+  ``NP/PP/NP`` chains with ``NNS_OR_NN``/``NN`` children (Q9).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import Corpus
+from repro.xmlkit.tree import Document, copy_tree, element, value
+
+_PRETERMINALS = ["NN", "NNS", "VB", "VBD", "DT", "JJ", "IN", "PRP", "CC"]
+
+
+def _val(rng):
+    return value(f"VAL{rng.randint(0, 99999):05d}")
+
+
+def _preterminal(rng, tag=None):
+    node = element(tag or rng.choice(_PRETERMINALS))
+    node.append(_val(rng))
+    return node
+
+
+def _np(rng, depth, budget):
+    """A noun phrase; recurses into NP/PP chains while budget remains."""
+    np = element("NP")
+    np.append(_preterminal(rng, "DT" if rng.random() < 0.4 else "NN"))
+    if budget > 0 and rng.random() < 0.55:
+        if rng.random() < 0.5:
+            pp = element("PP")
+            pp.append(_preterminal(rng, "IN"))
+            pp.append(_np(rng, depth + 2, budget - 1))
+            np.append(pp)
+        else:
+            np.append(_np(rng, depth + 1, budget - 1))
+    return np
+
+
+def _vp(rng, depth, budget):
+    vp = element("VP")
+    vp.append(_preterminal(rng, "VBD"))
+    if budget > 0 and rng.random() < 0.5:
+        vp.append(_np(rng, depth + 1, budget - 1))
+    if budget > 0 and rng.random() < 0.3:
+        vp.append(_s(rng, depth + 1, budget - 2))
+    return vp
+
+
+def _s(rng, depth, budget):
+    s = element("S")
+    s.append(_np(rng, depth + 1, max(budget - 1, 0)))
+    s.append(_vp(rng, depth + 1, max(budget - 1, 0)))
+    return s
+
+
+def _refresh_values(root, rng):
+    """Give a copied skeleton fresh (encrypted-stand-in) leaf values."""
+    for node in root.iter_subtree():
+        if node.is_value:
+            node.tag = f"VAL{rng.randint(0, 99999):05d}"
+
+
+def treebank(n_sentences=800, seed=36, q7_positions=9, q8_matches=1,
+             q8_near_misses=40, q9_matches=6, n_templates=24):
+    """Generate a TREEBANK-like corpus of ``n_sentences`` sentence trees.
+
+    Sentences are instantiated from ``n_templates`` parse skeletons (real
+    treebanks reuse a limited set of production patterns, which is what
+    gives the Prufer trie its prefix sharing); leaf values are fresh per
+    sentence, standing in for the original's encrypted PCDATA.
+
+    - ``q7_positions`` sentences receive a ``NP/SYM`` chain nested under a
+      recursive ``S``,
+    - ``q8_matches`` sentences receive a true ``NP[./RBR_OR_JJR]/PP``
+      match; ``q8_near_misses`` sentences receive the ancestor-only
+      near-miss (``NP`` above both, parent of neither),
+    - ``q9_matches`` sentences receive a ``NP/PP/NP`` chain whose inner NP
+      has both ``NNS_OR_NN`` and ``NN`` children.
+    """
+    rng = random.Random(seed)
+    templates = [_s(rng, 1, rng.randint(4, 14))
+                 for _ in range(n_templates)]
+    documents = []
+    q7_set = set(int((i + 0.5) * n_sentences / q7_positions)
+                 for i in range(q7_positions))
+    candidates = [p for p in range(n_sentences) if p not in q7_set]
+    q8_true = set(rng.sample(candidates, min(q8_matches, len(candidates))))
+    candidates = [p for p in candidates if p not in q8_true]
+    q8_near = set(rng.sample(candidates, min(q8_near_misses,
+                                             len(candidates) // 2)))
+    candidates = [p for p in candidates if p not in q8_near]
+    q9_set = set(rng.sample(candidates, min(q9_matches, len(candidates))))
+
+    for position in range(n_sentences):
+        sentence = copy_tree(templates[rng.randrange(n_templates)])
+        _refresh_values(sentence, rng)
+
+        if position in q7_set:
+            # Deep S ... NP/SYM needle: nest an extra S chain then a SYM.
+            holder = sentence.find("NP") or sentence
+            inner_s = element("S")
+            chain = inner_s
+            for _ in range(rng.randint(1, 4)):
+                nested = element("NP")
+                chain.append(nested)
+                chain = nested
+            sym = element("SYM")
+            sym.append(_val(rng))
+            chain.append(sym)
+            holder.append(inner_s)
+        if position in q8_true:
+            np = element("NP")
+            rbr = element("RBR_OR_JJR")
+            rbr.append(_val(rng))
+            pp = element("PP")
+            pp.append(_preterminal(rng, "IN"))
+            np.append(rbr)
+            np.append(pp)
+            sentence.append(np)
+        if position in q8_near:
+            # NP is an ancestor of both RBR_OR_JJR and PP but parent of
+            # neither: TwigStack's partial path matches merge-fail here.
+            np = element("NP")
+            left = element("ADJP")
+            rbr = element("RBR_OR_JJR")
+            rbr.append(_val(rng))
+            left.append(rbr)
+            right = element("VP")
+            pp = element("PP")
+            pp.append(_preterminal(rng, "IN"))
+            right.append(pp)
+            np.append(left)
+            np.append(right)
+            sentence.append(np)
+        if position in q9_set:
+            outer = element("NP")
+            pp = element("PP")
+            inner = element("NP")
+            for tag in ("NNS_OR_NN", "NN"):
+                child = element(tag)
+                child.append(_val(rng))
+                inner.append(child)
+            pp.append(inner)
+            outer.append(pp)
+            sentence.append(outer)
+
+        documents.append(Document(sentence, doc_id=position + 1))
+
+    return Corpus(name="treebank", documents=documents,
+                  params={"n_sentences": n_sentences, "seed": seed,
+                          "q7_positions": q7_positions,
+                          "q8_matches": q8_matches, "q9_matches": q9_matches})

@@ -1,0 +1,25 @@
+"""The PRIX engine: index construction and twig query processing.
+
+The pipeline follows the paper exactly (Figure 3):
+
+1. every document is transformed into its (Regular or Extended) Prufer
+   sequence and the LPS's are inserted into a virtual trie whose
+   projection lives in B+-trees (:mod:`repro.prix.index`),
+2. a twig query is transformed the same way and matched against the trie
+   by subsequence matching with optional MaxGap pruning
+   (:mod:`repro.prix.filtering`, Algorithm 1 + Theorem 4),
+3. surviving subsequences pass through refinement by connectedness,
+   by structure (gap and frequency consistency) and by leaf matching
+   (:mod:`repro.prix.refinement`, Algorithm 2), with the wildcard
+   modifications of Section 4.5,
+4. accepted matches are deduplicated into twig embeddings
+   (:mod:`repro.prix.matcher`).
+"""
+
+from repro.prix.explain import explain
+from repro.prix.incremental import RebuildRequiredError
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.prix.matcher import TwigMatch
+
+__all__ = ["IndexOptions", "PrixIndex", "RebuildRequiredError",
+           "TwigMatch", "explain"]

@@ -1,0 +1,90 @@
+"""EXPLAIN for twig queries: show how PRIX will execute a pattern.
+
+Produces a human-readable account of the matching pipeline for one
+query against one index: the optimizer's variant choice (with the label
+frequencies behind it), every branch arrangement's Prufer sequence with
+edge specs and MaxGap relationship kinds, and the chosen strategy.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.prix.matcher import RARE_LABEL_NODE_LIMIT
+from repro.prix.plan import build_plan
+from repro.query.twig import arrangements, collapse
+from repro.query.xpath import parse_xpath
+from repro.xmlkit.tree import VALUE_LABEL_PREFIX
+
+
+def _show_label(label):
+    if label is None:
+        return "*"
+    if label.startswith(VALUE_LABEL_PREFIX):
+        return f'"{label[len(VALUE_LABEL_PREFIX):]}"'
+    return label
+
+
+def _show_spec(spec):
+    if spec.is_plain_child:
+        return "/"
+    if spec.max_steps is None:
+        if spec.min_steps == 1:
+            return "//"
+        return f"//(>={spec.min_steps})"
+    return f"/(={spec.min_steps})"
+
+
+def explain(index, pattern, variant=None):
+    """Return a multi-line explanation of the execution plan."""
+    if isinstance(pattern, str):
+        pattern = parse_xpath(pattern)
+    out = StringIO()
+    out.write(f"query: {pattern.source or '(twig)'}\n")
+
+    chosen = variant or index.choose_variant(pattern)
+    out.write(f"variant: {chosen}")
+    if pattern.has_values():
+        out.write("  (value predicates -> EPIndex, Section 5.6)\n")
+    else:
+        out.write("  (value-free: first-label trie-node frequencies: ")
+        parts = []
+        for name in sorted(index.variants()):
+            variant_index = index._variants[name]
+            plan = build_plan(collapse(pattern),
+                              extended=variant_index.extended)
+            first = plan.qlps[0] if plan.qlps else None
+            count = variant_index.label_counts.get(first, 0)
+            parts.append(f"{name}:{_show_label(first)}={count}")
+        out.write(", ".join(parts) + ")\n")
+
+    variant_index = index._variants[chosen]
+    counts = variant_index.label_counts
+    plans = [build_plan(arranged, extended=variant_index.extended)
+             for arranged in arrangements(pattern)]
+    out.write(f"arrangements: {len(plans)}\n")
+    for number, plan in enumerate(plans, start=1):
+        labels = " ".join(_show_label(label) for label in plan.qlps)
+        out.write(f"  [{number}] LPS(Q) = {labels}\n")
+        out.write(f"      NPS(Q) = "
+                  f"{' '.join(map(str, plan.qnps))}\n")
+        specs = ", ".join(
+            f"{node}{_show_spec(plan.specs[node])}"
+            for node in sorted(plan.specs))
+        out.write(f"      edges  = {specs}\n")
+        if plan.rel_kinds:
+            out.write(f"      maxgap pairs = "
+                      f"{' '.join(plan.rel_kinds)}\n")
+
+    if plans and plans[0].qlps:
+        rare = min(plans[0].qlps, key=lambda label: counts.get(label, 0))
+        rare_nodes = counts.get(rare, 0)
+        out.write(f"rarest label: {_show_label(rare)} "
+                  f"({rare_nodes} trie nodes)\n")
+        if rare_nodes <= RARE_LABEL_NODE_LIMIT:
+            out.write("strategy: document-at-a-time candidate scan "
+                      "(rare label pins down few documents)\n")
+        else:
+            out.write("strategy: trie traversal (Algorithm 1) per "
+                      "arrangement\n")
+    return out.getvalue()

@@ -1,0 +1,179 @@
+"""Filtering by subsequence matching (Section 5.3, Algorithm 1).
+
+Subsequence occurrences of LPS(Q) are found by recursive range queries
+over the Trie-Symbol index: matching the i-th query label inside the trie
+range of the (i-1)-th match enumerates exactly the descendants carrying
+that label.  When a full match is found, the Docid index yields every
+document whose LPS terminates inside the final node's range.
+
+The optional MaxGap pruning (Section 5.4, Theorem 4) discards descendants
+whose level gap exceeds the upper bound for the adjacent query labels'
+relationship; :mod:`repro.prix.plan` pre-classifies which pairs may be
+pruned safely.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.prix.plan import (REL_ANCESTOR, REL_CHILD, REL_SIBLING,
+                             REL_UNPRUNABLE)
+from repro.storage.codec import encode_int, encode_key
+
+_POS_VALUE = struct.Struct("<QII")  # (RightPos, Level, node MaxGap)
+_DOC_VALUE = struct.Struct("<I")    # document id
+
+#: Cap for the per-node MaxGap stored in index entries.
+_GAP_CAP = 2 ** 32 - 1
+
+
+@dataclass
+class FilterStats:
+    """Work counters for one filtering pass (drives the experiment plots)."""
+
+    range_queries: int = 0
+    nodes_visited: int = 0
+    candidates: int = 0
+    pruned_by_maxgap: int = 0
+
+    def merge(self, other):
+        """Accumulate another pass's counters into this one."""
+        self.range_queries += other.range_queries
+        self.nodes_visited += other.nodes_visited
+        self.candidates += other.candidates
+        self.pruned_by_maxgap += other.pruned_by_maxgap
+
+
+class TrieSymbolIndex:
+    """The Trie-Symbol index: one composite-key B+-tree.
+
+    The paper builds one B+-tree per element tag; storing all tags in one
+    tree keyed by ``(label, LeftPos)`` is I/O-equivalent (each range query
+    touches the same leaf pages) without burning a page per distinct label,
+    which matters once Extended-Prufer sequences put every distinct value
+    string into the key space.
+    """
+
+    def __init__(self, bptree):
+        self._tree = bptree
+
+    @property
+    def tree(self):
+        return self._tree
+
+    def range_query_full(self, label, lo, hi):
+        """Yield ``(left, right, level)`` strictly inside ``(lo, hi)``."""
+        for left, right, level, _ in self.range_query_gaps(label, lo, hi):
+            yield left, right, level
+
+    def range_query_gaps(self, label, lo, hi):
+        """Yield ``(left, right, level, node_maxgap)`` inside ``(lo, hi)``.
+
+        ``node_maxgap`` is the finer-grained MaxGap of Section 5.4's
+        closing remark: the largest first-to-last child span of this
+        occurrence's parent node, over the documents whose sequences pass
+        through this trie node only.
+        """
+        lo_key = encode_key(label, lo + 1)
+        hi_key = encode_key(label, hi)
+        prefix_len = len(encode_key(label))
+        for key, value in self._tree.range_scan(lo_key, hi_key):
+            left = int.from_bytes(key[prefix_len + 1:prefix_len + 9], "big")
+            right, level, gap = _POS_VALUE.unpack(value)
+            yield left, right, level, gap
+
+    @staticmethod
+    def make_entry(label, left, right, level, node_maxgap=0):
+        """Build the ``(key, value)`` pair for one trie node occurrence."""
+        return (encode_key(label, left),
+                _POS_VALUE.pack(right, level,
+                                min(node_maxgap, _GAP_CAP)))
+
+
+class DocidIndex:
+    """Docid index: LeftPos of each LPS terminal node -> document ids."""
+
+    def __init__(self, bptree):
+        self._tree = bptree
+
+    @property
+    def tree(self):
+        return self._tree
+
+    def documents_in(self, lo, hi):
+        """Document ids whose LPS terminates in the closed range [lo, hi]."""
+        lo_key = encode_int(lo)
+        hi_key = encode_int(hi)
+        return [_DOC_VALUE.unpack(value)[0]
+                for _, value in self._tree.range_scan(lo_key, hi_key,
+                                                      inclusive_hi=True)]
+
+    @staticmethod
+    def make_entry(left, doc_id):
+        return encode_int(left), _DOC_VALUE.pack(doc_id)
+
+
+def _maxgap_admits(kind, gap, max_gap):
+    """Apply Theorem 4: return False when the pair cannot be a match."""
+    if kind == REL_SIBLING:
+        return gap <= max_gap
+    if kind == REL_CHILD:
+        return gap <= max_gap + 1
+    if kind == REL_ANCESTOR:
+        return gap < max_gap
+    return True
+
+
+def find_subsequences(plan, symbol_index, docid_index, root_range,
+                      maxgap_table=None, stats=None, granularity="label"):
+    """Run Algorithm 1: yield ``(doc_ids, positions)`` candidates.
+
+    Args:
+        plan: the :class:`~repro.prix.plan.QueryPlan` being matched.
+        symbol_index: the :class:`TrieSymbolIndex`.
+        docid_index: the :class:`DocidIndex`.
+        root_range: the virtual-trie root's ``(left, right)`` range.
+        maxgap_table: a :class:`~repro.prufer.maxgap.MaxGapTable`; pass
+            None to disable the Theorem 4 pruning (ablation A1).
+        granularity: ``"label"`` bounds gaps by the label's collection-
+            wide MaxGap; ``"node"`` uses the matched trie node's own
+            stored MaxGap (Section 5.4's finer-grained variant), which
+            bounds over the documents passing through that node only and
+            therefore prunes at least as hard.
+        stats: optional :class:`FilterStats` to accumulate work counters.
+    """
+    if stats is None:
+        stats = FilterStats()
+    qlps = plan.qlps
+    last = len(qlps) - 1
+    results = []
+    positions = [0] * len(qlps)
+    per_node = granularity == "node"
+
+    def recurse(i, lo, hi, prev_bound):
+        stats.range_queries += 1
+        for left, right, level, node_gap in symbol_index.range_query_gaps(
+                qlps[i], lo, hi):
+            stats.nodes_visited += 1
+            if maxgap_table is not None and i > 0:
+                kind = plan.rel_kinds[i - 1]
+                if kind != REL_UNPRUNABLE:
+                    gap = level - positions[i - 1]
+                    if not _maxgap_admits(kind, gap, prev_bound):
+                        stats.pruned_by_maxgap += 1
+                        continue
+            positions[i] = level
+            bound = (node_gap if per_node
+                     else maxgap_table.get(qlps[i])
+                     if maxgap_table is not None and i < last else 0)
+            if i == last:
+                docs = docid_index.documents_in(left, right)
+                if docs:
+                    stats.candidates += 1
+                    results.append((tuple(docs), tuple(positions)))
+            else:
+                recurse(i + 1, left, right, bound)
+
+    recurse(0, root_range[0], root_range[1], 0)
+    return results, stats

@@ -1,0 +1,642 @@
+"""The PRIX index: build, store and query (Sections 3 and 5).
+
+A :class:`PrixIndex` owns one paged storage file containing, per variant
+(RPIndex over Regular-Prufer sequences, EPIndex over Extended-Prufer
+sequences, Section 5.6):
+
+- the Trie-Symbol index (B+-tree over ``(label, LeftPos)``),
+- the Docid index (B+-tree over the LeftPos of each LPS terminal),
+- a record store holding each document's NPS, LPS and leaf list,
+- the MaxGap table (Section 5.4).
+
+The query entry point transforms a twig, picks a variant (EPIndex for
+queries with values, RPIndex otherwise -- the optimizer of Section 5.6),
+and runs the filter/refine pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+from dataclasses import dataclass, field
+
+from repro.prix.filtering import DocidIndex, TrieSymbolIndex
+from repro.prix.incremental import (AllocationTree, RebuildRequiredError,
+                                    insert_sequence)
+from repro.prix.matcher import QueryStats, run_query
+from repro.prix.refinement import DocView
+from repro.prufer.reconstruct import reconstruct_document
+from repro.prufer.maxgap import MaxGapTable, position_gaps
+from repro.prufer.sequence import extended_sequence, regular_sequence
+from repro.query.xpath import parse_xpath
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.codec import decode_varints, encode_varints
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+from repro.storage.records import RecordStore
+from repro.trie.labeling import BulkDFSLabeler, DynamicLabeler
+from repro.trie.trie import SequenceTrie
+
+VARIANT_REGULAR = "rp"
+VARIANT_EXTENDED = "ep"
+
+
+@dataclass
+class IndexOptions:
+    """Construction-time knobs, defaulted to the paper's setup."""
+
+    variants: tuple = (VARIANT_REGULAR, VARIANT_EXTENDED)
+    page_size: int = DEFAULT_PAGE_SIZE
+    pool_pages: int = DEFAULT_POOL_PAGES
+    labeler: str = "bulk"          # "bulk" or "dynamic" (Section 5.2.1)
+    alpha: int = 4                 # prefix length for dynamic labeling
+    max_range: int = 2 ** 63       # 8-byte ranges, as in the experiments
+    path: str | None = None        # None -> in-memory storage
+    insert_fanout: int = 8         # scope share for incremental inserts
+    maxgap_granularity: str = "label"  # or "node" (Section 5.4, fine)
+
+
+@dataclass
+class TrieStats:
+    """Build-time statistics about one variant's virtual trie."""
+
+    node_count: int = 0
+    path_count: int = 0
+    sequence_count: int = 0
+    max_path_sharing: int = 0
+    total_sequence_length: int = 0
+    underflows: int = 0
+    rebuilds: int = 0
+
+
+class LabelDict:
+    """Bidirectional label <-> integer id mapping for compact storage."""
+
+    def __init__(self):
+        self._by_label = {}
+        self._by_id = []
+
+    def id_of(self, label):
+        """Integer id for ``label``, assigning one if new."""
+        label_id = self._by_label.get(label)
+        if label_id is None:
+            label_id = len(self._by_id)
+            self._by_label[label] = label_id
+            self._by_id.append(label)
+        return label_id
+
+    def label_of(self, label_id):
+        """Label string for an id."""
+        return self._by_id[label_id]
+
+    def __len__(self):
+        return len(self._by_id)
+
+
+@dataclass
+class _VariantIndex:
+    """Built structures for one sequence variant."""
+
+    name: str
+    extended: bool
+    symbol_index: TrieSymbolIndex = None
+    docid_index: DocidIndex = None
+    root_range: tuple = (0, 0)
+    maxgap: MaxGapTable = field(default_factory=MaxGapTable)
+    catalog: dict = field(default_factory=dict)    # doc_id -> record id
+    trie_stats: TrieStats = field(default_factory=TrieStats)
+    label_counts: dict = field(default_factory=dict)  # trie nodes per label
+    alloc: AllocationTree = None   # scope state for incremental inserts
+
+
+#: Superblock layout: magic, meta-record page/offset/length, page size.
+_SUPERBLOCK = struct.Struct("<8sIIQI")
+_SUPER_MAGIC = b"PRIXIDX1"
+
+
+class PrixIndex:
+    """Disk-backed PRIX index over a collection of documents.
+
+    Build with :meth:`build`; a file-backed index (``IndexOptions(path=
+    ...)``) can be persisted with :meth:`save` and reattached later with
+    :meth:`open` without rebuilding.
+    """
+
+    def __init__(self, pool, records, label_dict, variants, doc_ids):
+        self._pool = pool
+        self._records = records
+        self._labels = label_dict
+        self._variants = variants
+        self._doc_ids = doc_ids
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, documents, options=None):
+        """Build an index over ``documents`` (numbered ``Document``\\ s)."""
+        options = options or IndexOptions()
+        stats = None
+        if options.path is None:
+            pager = Pager.in_memory(page_size=options.page_size, stats=stats)
+        else:
+            pager = Pager.open(options.path, page_size=options.page_size,
+                               stats=stats)
+        pool = BufferPool(pager, capacity=options.pool_pages)
+        superblock_id, _ = pool.new_page()   # reserved: page 0
+        assert superblock_id == 0
+        records = RecordStore(pool)
+        label_dict = LabelDict()
+
+        documents = list(documents)
+        doc_ids = [doc.doc_id for doc in documents]
+        if len(set(doc_ids)) != len(doc_ids):
+            raise ValueError("document ids must be unique")
+
+        variants = {}
+        for name in options.variants:
+            variants[name] = cls._build_variant(
+                name, documents, options, pool, records, label_dict)
+        index = cls(pool, records, label_dict, variants, doc_ids)
+        index._options = options
+        return index
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def insert_document(self, document):
+        """Insert one new document without rebuilding (Section 5.2.1).
+
+        The document's sequences are threaded through the virtual trie;
+        ranges for new trie nodes are carved from their parents'
+        unallocated scope by the dynamic labeling scheme.  Indexes built
+        with the default bulk labeler have *gap-free* ranges and will
+        raise :class:`RebuildRequiredError` immediately; build with
+        ``IndexOptions(labeler="dynamic")`` to leave insertion slack.
+
+        On :class:`RebuildRequiredError` the document's record is already
+        cataloged, so :meth:`rebuilt` includes it; until then queries may
+        miss the new document (its trie path is incomplete).
+        """
+        if document.doc_id in set(self._doc_ids):
+            raise ValueError(f"document id {document.doc_id} exists")
+        fanout = getattr(self, "_options", None)
+        fanout = fanout.insert_fanout if fanout else 8
+        underflow = None
+        for variant in self._variants.values():
+            seq = (extended_sequence(document) if variant.extended
+                   else regular_sequence(document))
+            blob = _encode_document(seq, self._labels)
+            variant.catalog[document.doc_id] = self._records.append(blob)
+            _merge_maxgap(variant.maxgap, seq)
+            stats = variant.trie_stats
+            stats.sequence_count += 1
+            stats.total_sequence_length += len(seq.lps)
+            try:
+                stats.node_count += insert_sequence(
+                    variant, variant.alloc, seq, document.doc_id,
+                    fanout=fanout)
+            except RebuildRequiredError as error:
+                underflow = error
+        self._doc_ids.append(document.doc_id)
+        if underflow is not None:
+            raise underflow
+
+    def delete_document(self, doc_id):
+        """Remove a document from the index.
+
+        The document's Docid-index entries are deleted, so queries stop
+        reporting it immediately.  Trie nodes its sequences created are
+        left in place (they are harmless: with no terminals below, the
+        filter's final Docid range query returns nothing), as are its
+        stored records; :meth:`rebuilt` compacts both away.  The MaxGap
+        table keeps its old bounds -- MaxGap is an upper bound, so stale
+        entries can only make pruning weaker, never incorrect.
+        """
+        if doc_id not in set(self._doc_ids):
+            raise KeyError(f"document {doc_id} is not indexed")
+        for variant in self._variants.values():
+            view = self._view_loader(variant)(doc_id)
+            lps = [view.labels[view.nps[i]]
+                   for i in range(1, view.n_nodes)]
+            terminal_left = self._terminal_of(variant, lps)
+            key, value = DocidIndex.make_entry(terminal_left, doc_id)
+            variant.docid_index.tree.delete(key, value)
+            del variant.catalog[doc_id]
+            variant.trie_stats.sequence_count -= 1
+            variant.trie_stats.total_sequence_length -= len(lps)
+        self._doc_ids.remove(doc_id)
+
+    def _terminal_of(self, variant, lps):
+        """Walk a stored LPS down the virtual trie; return the terminal's
+        LeftPos."""
+        from repro.prix.incremental import find_child
+        cur_left, cur_right = variant.root_range
+        level = 0
+        for label in lps:
+            child = find_child(variant.symbol_index, label, cur_left,
+                               cur_right, level)
+            if child is None:
+                raise KeyError(
+                    "stored sequence is missing from the trie (index "
+                    "needs a rebuild?)")
+            cur_left, cur_right, _ = child
+            level += 1
+        return cur_left
+
+    def export_documents(self):
+        """Reconstruct every indexed document from its stored sequences.
+
+        Uses the Regular-Prufer records when available (the extended
+        records would reproduce the dummy children); this is what
+        :meth:`rebuilt` feeds back into :meth:`build`.
+        """
+        name = (VARIANT_REGULAR if VARIANT_REGULAR in self._variants
+                else next(iter(self._variants)))
+        variant = self._variants[name]
+        loader = self._view_loader(variant)
+        documents = []
+        for doc_id in self._doc_ids:
+            view = loader(doc_id)
+            lps = [view.labels[view.nps[i]]
+                   for i in range(1, view.n_nodes)]
+            internal = set(view.nps[1:view.n_nodes])
+            leaves = [(view.labels[i], i)
+                      for i in range(1, view.n_nodes + 1)
+                      if i not in internal]
+            document = reconstruct_document(lps, view.nps[1:view.n_nodes],
+                                            leaves, doc_id=doc_id)
+            if variant.extended:
+                document = _strip_dummies(document)
+            documents.append(document)
+        return documents
+
+    def rebuilt(self, options=None):
+        """Build a fresh, compact index holding the same documents.
+
+        The recovery path after :class:`RebuildRequiredError`: documents
+        are reconstructed from their stored sequences (no access to the
+        original XML needed) and indexed from scratch.  Returns the new
+        index; the old one remains readable.
+        """
+        if options is None:
+            base = getattr(self, "_options", None) or IndexOptions()
+            options = IndexOptions(
+                variants=tuple(self._variants), page_size=base.page_size,
+                pool_pages=base.pool_pages, labeler=base.labeler,
+                alpha=base.alpha, max_range=base.max_range,
+                insert_fanout=base.insert_fanout)
+        return PrixIndex.build(self.export_documents(), options)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self):
+        """Persist the catalog and flush everything to the backing file.
+
+        The page payloads (B+-trees, records) already live in the pager
+        file; this writes the metadata blob (label dictionary, per-variant
+        catalogs, MaxGap tables, trie statistics) plus the superblock that
+        locates it, then syncs.
+        """
+        meta = {
+            "version": 1,
+            "doc_ids": self._doc_ids,
+            "labels": self._labels._by_id,
+            "variants": {},
+        }
+        for name, variant in self._variants.items():
+            stats = variant.trie_stats
+            meta["variants"][name] = {
+                "extended": variant.extended,
+                "symbol_meta": variant.symbol_index.tree.meta_page_id,
+                "docid_meta": variant.docid_index.tree.meta_page_id,
+                "alloc_meta": variant.alloc.tree.meta_page_id
+                              if variant.alloc else None,
+                "root_range": list(variant.root_range),
+                "maxgap": variant.maxgap.as_dict(),
+                "label_counts": variant.label_counts,
+                "catalog": {str(doc_id): list(rid)
+                            for doc_id, rid in variant.catalog.items()},
+                "trie_stats": {
+                    "node_count": stats.node_count,
+                    "path_count": stats.path_count,
+                    "sequence_count": stats.sequence_count,
+                    "max_path_sharing": stats.max_path_sharing,
+                    "total_sequence_length": stats.total_sequence_length,
+                    "underflows": stats.underflows,
+                    "rebuilds": stats.rebuilds,
+                },
+            }
+        blob = json.dumps(meta).encode("utf-8")
+        rid = self._records.append(blob)
+        frame = bytearray(self._pool._pager.page_size)
+        _SUPERBLOCK.pack_into(frame, 0, _SUPER_MAGIC, rid[0], rid[1],
+                              rid[2], self._pool._pager.page_size)
+        self._pool.put(0, frame)
+        self._pool.flush()
+        self._pool._pager.sync()
+
+    @classmethod
+    def open(cls, path, pool_pages=None):
+        """Reattach to an index previously built with a ``path`` and
+        :meth:`save`\\ d."""
+        with open(path, "rb") as handle:
+            header = handle.read(_SUPERBLOCK.size)
+        if len(header) < _SUPERBLOCK.size:
+            raise ValueError(f"{path} does not contain a PRIX index")
+        magic, page, offset, length, stored_page_size = \
+            _SUPERBLOCK.unpack(header)
+        if magic != _SUPER_MAGIC:
+            raise ValueError(f"{path} does not contain a PRIX index")
+        pager = Pager.open(path, page_size=stored_page_size)
+        pool = BufferPool(pager, capacity=pool_pages
+                          or DEFAULT_POOL_PAGES)
+        records = RecordStore(pool)
+        meta = json.loads(records.read((page, offset, length)))
+
+        label_dict = LabelDict()
+        for label in meta["labels"]:
+            label_dict.id_of(label)
+        variants = {}
+        for name, data in meta["variants"].items():
+            variant = _VariantIndex(name=name, extended=data["extended"])
+            variant.symbol_index = TrieSymbolIndex(
+                BPlusTree.attach(pool, data["symbol_meta"]))
+            variant.docid_index = DocidIndex(
+                BPlusTree.attach(pool, data["docid_meta"]))
+            if data.get("alloc_meta") is not None:
+                variant.alloc = AllocationTree(
+                    BPlusTree.attach(pool, data["alloc_meta"]))
+            variant.root_range = tuple(data["root_range"])
+            variant.maxgap = MaxGapTable(data["maxgap"])
+            variant.label_counts = dict(data["label_counts"])
+            variant.catalog = {int(doc_id): tuple(rid)
+                               for doc_id, rid in data["catalog"].items()}
+            variant.trie_stats = TrieStats(**data["trie_stats"])
+            variants[name] = variant
+        return cls(pool, records, label_dict, variants,
+                   list(meta["doc_ids"]))
+
+    def close(self):
+        """Flush and close the backing file."""
+        self._pool.flush()
+        self._pool._pager.close()
+
+    @classmethod
+    def _build_variant(cls, name, documents, options, pool, records,
+                       label_dict):
+        extended = name == VARIANT_EXTENDED
+        variant = _VariantIndex(name=name, extended=extended)
+        trie = SequenceTrie()
+        total_length = 0
+
+        for document in documents:
+            seq = (extended_sequence(document) if extended
+                   else regular_sequence(document))
+            trie.insert(seq.lps, document.doc_id,
+                        gaps=position_gaps(seq))
+            total_length += len(seq.lps)
+            _merge_maxgap(variant.maxgap, seq)
+            blob = _encode_document(seq, label_dict)
+            variant.catalog[document.doc_id] = records.append(blob)
+
+        if options.labeler == "dynamic":
+            labeler = DynamicLabeler(max_range=options.max_range,
+                                     alpha=options.alpha)
+            variant.root_range = labeler.label(trie)
+            variant.trie_stats.underflows = labeler.underflows
+            variant.trie_stats.rebuilds = labeler.rebuilds
+        else:
+            variant.root_range = BulkDFSLabeler().label(trie)
+
+        symbol_entries = []
+        docid_entries = []
+        counts = variant.label_counts
+        for node in trie.iter_nodes():
+            # Distinct trie nodes per label = Trie-Symbol index entries =
+            # the filter's worst-case fan-out for that label.  Path
+            # sharing makes this far smaller than the occurrence count on
+            # structurally similar corpora (Section 6.4.2).
+            counts[node.label] = counts.get(node.label, 0) + 1
+            symbol_entries.append(TrieSymbolIndex.make_entry(
+                node.label, node.left, node.right, node.level,
+                node.node_gap))
+            for doc_id in node.doc_ids:
+                docid_entries.append(DocidIndex.make_entry(
+                    node.left, doc_id))
+        symbol_entries.sort(key=lambda pair: pair[0])
+        docid_entries.sort(key=lambda pair: pair[0])
+        variant.symbol_index = TrieSymbolIndex(
+            BPlusTree.bulk_load(pool, symbol_entries))
+        variant.docid_index = DocidIndex(
+            BPlusTree.bulk_load(pool, docid_entries))
+        variant.alloc = AllocationTree(
+            BPlusTree.bulk_load(pool, AllocationTree.seed_entries(trie)))
+
+        variant.trie_stats.node_count = trie.node_count
+        variant.trie_stats.path_count = trie.path_count()
+        variant.trie_stats.sequence_count = trie.sequence_count
+        variant.trie_stats.max_path_sharing = trie.max_path_sharing()
+        variant.trie_stats.total_sequence_length = total_length
+        return variant
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def doc_count(self):
+        """Number of indexed documents."""
+        return len(self._doc_ids)
+
+    @property
+    def io_stats(self):
+        """The storage stack's I/O counters (shared by all variants)."""
+        return self._pool.stats
+
+    def variants(self):
+        """Names of the built variants ('rp', 'ep')."""
+        return tuple(self._variants)
+
+    def trie_stats(self, variant):
+        """Build-time trie statistics for a variant."""
+        return self._variants[variant].trie_stats
+
+    def maxgap_table(self, variant):
+        """The MaxGap table of a variant."""
+        return self._variants[variant].maxgap
+
+    def flush_cache(self):
+        """Write back and drop every cached page (cold-cache measurement)."""
+        self._pool.flush_and_clear()
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+
+    def choose_variant(self, pattern):
+        """The query optimizer's variant choice.
+
+        Section 5.6's rule picks EPIndex whenever the query carries value
+        predicates (their high selectivity prunes subsequence matching).
+        For value-free queries we extend the rule with a selectivity
+        estimate: filtering fans out from the *first* LPS label of the
+        query, so whichever variant gives that label the lower collection
+        frequency explores fewer trie paths.  This is how the paper's
+        Q8 discussion can lean on MaxGap of a rare *leaf* tag
+        (RBR_OR_JJR): leaf labels only reach the filter through the
+        extended sequences.  Both variants return identical answers, so
+        the choice is purely a cost decision.
+        """
+        if pattern.has_values() and VARIANT_EXTENDED in self._variants:
+            return VARIANT_EXTENDED
+        if len(self._variants) == 1:
+            return next(iter(self._variants))
+
+        from repro.prix.plan import build_plan
+        from repro.query.twig import collapse
+
+        def first_label_frequency(name):
+            variant = self._variants[name]
+            plan = build_plan(collapse(pattern),
+                              extended=variant.extended)
+            if not plan.qlps:
+                return 0
+            return variant.label_counts.get(plan.qlps[0], 0)
+
+        return min(sorted(self._variants),
+                   key=lambda name: (first_label_frequency(name),
+                                     name != VARIANT_REGULAR))
+
+    def query(self, pattern, *, ordered=False, variant=None,
+              use_maxgap=True, strategy="auto", maxgap_granularity=None):
+        """Find all occurrences of a twig; return ``[TwigMatch, ...]``.
+
+        Args:
+            pattern: a :class:`~repro.query.twig.TwigPattern` or an XPath
+                string.
+            ordered: require the twig's branch order in matches
+                (default False: unordered semantics, Section 5.7).
+            variant: force ``"rp"`` or ``"ep"``; default lets the
+                optimizer decide.
+            use_maxgap: apply Theorem 4 pruning (default on).
+            strategy: ``"trie"`` / ``"document"`` / ``"auto"`` -- see
+                :func:`repro.prix.matcher.run_query`.
+        """
+        matches, _ = self.query_with_stats(
+            pattern, ordered=ordered, variant=variant,
+            use_maxgap=use_maxgap, strategy=strategy,
+            maxgap_granularity=maxgap_granularity)
+        return matches
+
+    def query_with_stats(self, pattern, *, ordered=False, variant=None,
+                         use_maxgap=True, strategy="auto",
+                         maxgap_granularity=None, cold=False):
+        """Like :meth:`query` but also return a ``QueryStats``.
+
+        ``cold=True`` flushes the buffer pool first, so ``physical_reads``
+        reports cold-cache page I/O the way the paper measures it.
+        """
+        if isinstance(pattern, str):
+            pattern = parse_xpath(pattern)
+        if variant is None:
+            variant = self.choose_variant(pattern)
+        if variant not in self._variants:
+            raise KeyError(f"variant {variant!r} was not built")
+        if cold:
+            self.flush_cache()
+        if maxgap_granularity is None:
+            options = getattr(self, "_options", None)
+            maxgap_granularity = (options.maxgap_granularity
+                                  if options else "label")
+        variant_index = self._variants[variant]
+        stats = QueryStats(variant=variant)
+        reads_before = self._pool.stats.physical_reads
+        started = time.perf_counter()
+        matches, stats = run_query(
+            pattern, variant_index, self._view_loader(variant_index),
+            ordered=ordered, use_maxgap=use_maxgap, strategy=strategy,
+            maxgap_granularity=maxgap_granularity, stats=stats)
+        stats.elapsed_seconds = time.perf_counter() - started
+        stats.physical_reads = self._pool.stats.physical_reads - reads_before
+        return matches, stats
+
+    def _view_loader(self, variant_index):
+        def load(doc_id):
+            rid = variant_index.catalog[doc_id]
+            blob = self._records.read(rid)
+            return _decode_document(doc_id, blob, self._labels,
+                                    variant_index.extended)
+        return load
+
+
+def _strip_dummies(document):
+    """Remove Extended-Prufer dummy leaves and renumber."""
+    from repro.xmlkit.tree import DUMMY_TAG, Document
+    for node in document.nodes_in_postorder():
+        node.children = [child for child in node.children
+                         if child.tag != DUMMY_TAG]
+    return Document(document.root, doc_id=document.doc_id)
+
+
+def _merge_maxgap(table, seq):
+    """Merge one sequence's child spans into the MaxGap table.
+
+    The children of node ``p`` are exactly the positions where ``p``
+    occurs in the NPS (Lemma 1), so spans are computable from the sequence
+    without revisiting the tree.
+    """
+    first = {}
+    last = {}
+    label_of = {}
+    for position, parent in enumerate(seq.nps, start=1):
+        if parent not in first:
+            first[parent] = position
+        last[parent] = position
+        label_of[parent] = seq.lps[position - 1]
+    for parent, first_child in first.items():
+        span = last[parent] - first_child
+        if span > 0:
+            table.merge_span(label_of[parent], span)
+
+
+
+
+def _encode_document(seq, label_dict):
+    """Serialize (NPS, LPS label ids, leaf list) into one varint blob."""
+    numbers = [seq.n_nodes]
+    numbers.extend(seq.nps)
+    numbers.extend(label_dict.id_of(label) for label in seq.lps)
+    numbers.append(len(seq.leaves))
+    for label, postorder in seq.leaves:
+        numbers.append(label_dict.id_of(label))
+        numbers.append(postorder)
+    return encode_varints(numbers)
+
+
+def _decode_document(doc_id, blob, label_dict, extended):
+    """Rebuild a :class:`DocView` from a stored document blob."""
+    numbers = decode_varints(blob)
+    n_nodes = numbers[0]
+    pos = 1
+    nps = [0] * (n_nodes + 1)
+    for i in range(1, n_nodes):
+        nps[i] = numbers[pos]
+        pos += 1
+    labels = [None] * (n_nodes + 1)
+    for i in range(1, n_nodes):
+        labels[nps[i]] = label_dict.label_of(numbers[pos])
+        pos += 1
+    leaf_count = numbers[pos]
+    pos += 1
+    for _ in range(leaf_count):
+        label_id = numbers[pos]
+        postorder = numbers[pos + 1]
+        pos += 2
+        labels[postorder] = label_dict.label_of(label_id)
+    return DocView(doc_id, nps, labels, extended)

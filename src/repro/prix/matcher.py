@@ -1,0 +1,251 @@
+"""Twig match results and the per-query matching driver.
+
+A :class:`TwigMatch` is one occurrence of the twig in one document: an
+injective mapping from the query's named nodes to postorder numbers of the
+document (in its original, non-extended numbering).  Matches found under
+different branch arrangements (Section 5.7) are deduplicated here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.prix.filtering import FilterStats, find_subsequences
+from repro.prix.plan import build_plan
+from repro.prix.refinement import refine
+from repro.query.twig import arrangements, collapse, node_signatures
+
+
+@dataclass(frozen=True)
+class TwigMatch:
+    """One twig occurrence.
+
+    Attributes:
+        doc_id: the matched document.
+        images: tuple of ``(node_index, postorder_number)`` pairs, where
+            ``node_index`` indexes the pattern's ``nodes()`` list; sorted
+            by node index.
+    """
+
+    doc_id: int
+    images: tuple
+    canonical: frozenset = frozenset()
+
+    def image_of(self, node_index):
+        """Postorder number matched to pattern node ``node_index``."""
+        for index, number in self.images:
+            if index == node_index:
+                return number
+        raise KeyError(node_index)
+
+    @property
+    def root_image(self):
+        """Postorder number matched to the twig root (node index 0)."""
+        return self.image_of(0)
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one query execution."""
+
+    variant: str = ""
+    strategy: str = "trie"
+    arrangements: int = 0
+    filter: FilterStats = field(default_factory=FilterStats)
+    candidate_documents: int = 0
+    candidates_refined: int = 0
+    candidates_accepted: int = 0
+    matches: int = 0
+    physical_reads: int = 0
+    elapsed_seconds: float = 0.0
+
+
+#: Document-at-a-time fallback thresholds: the rarest query label must
+#: occur at no more than this many trie nodes, and pin down at most this
+#: many candidate documents, for the fallback to engage.
+RARE_LABEL_NODE_LIMIT = 128
+RARE_LABEL_DOC_LIMIT = 256
+
+
+def run_query(pattern, variant_index, view_loader, *, ordered=False,
+              use_maxgap=True, strategy="auto", maxgap_granularity="label",
+              stats=None):
+    """Match ``pattern`` against one variant index; return TwigMatches.
+
+    Args:
+        pattern: a :class:`~repro.query.twig.TwigPattern`.
+        variant_index: the built per-variant index structures (an object
+            with ``symbol_index``, ``docid_index``, ``root_range``,
+            ``maxgap``, ``label_counts`` attributes).
+        view_loader: callable ``doc_id -> DocView`` reading the stored
+            NPS/LPS/leaf data.
+        ordered: match only the twig's own branch order (Section 5.7's
+            ordered semantics); the default tries every arrangement.
+        use_maxgap: apply Theorem 4 pruning during filtering.
+        strategy: ``"trie"`` forces Algorithm 1's trie traversal per
+            arrangement; ``"document"`` forces the document-at-a-time
+            fallback; ``"auto"`` (default) uses the fallback when the
+            rarest query label pins down few candidate documents.  Any
+            match's document must contain every LPS(Q) label, so the
+            fallback is answer-equivalent.
+        stats: optional :class:`QueryStats` to fill in.
+    """
+    if stats is None:
+        stats = QueryStats()
+    node_index = {id(node): i for i, node in enumerate(pattern.nodes())}
+    signatures = node_signatures(pattern)
+    maxgap_table = variant_index.maxgap if use_maxgap else None
+    extended = variant_index.extended
+
+    twig_iter = ([collapse(pattern)] if ordered else arrangements(pattern))
+    plans = [build_plan(arranged, extended=extended)
+             for arranged in twig_iter]
+    stats.arrangements = len(plans)
+
+    candidate_docs = None
+    if strategy in ("auto", "document") and plans:
+        candidate_docs = _rare_label_candidates(
+            plans[0], variant_index,
+            force=(strategy == "document"))
+    use_documents = candidate_docs is not None
+    stats.strategy = "document" if use_documents else "trie"
+
+    seen = set()
+    matches = []
+    views = {}
+
+    def emit(plan, view, doc_id, positions):
+        stats.candidates_refined += 1
+        embeddings = refine(plan, view, positions)
+        if embeddings:
+            stats.candidates_accepted += 1
+        for embedding in embeddings:
+            images, canonical = _to_images(
+                embedding, plan, view, node_index, signatures)
+            key = (doc_id, canonical)
+            if key not in seen:
+                seen.add(key)
+                matches.append(TwigMatch(doc_id=doc_id, images=images,
+                                         canonical=canonical))
+
+    if use_documents:
+        stats.candidate_documents = len(candidate_docs)
+        for doc_id in sorted(candidate_docs):
+            view = view_loader(doc_id)
+            views[doc_id] = view
+            lps_seq = _document_lps(view)
+            for plan in plans:
+                for positions in _subsequences_in_document(
+                        lps_seq, plan, maxgap_table, stats.filter):
+                    emit(plan, view, doc_id, positions)
+    else:
+        for plan in plans:
+            candidates, _ = find_subsequences(
+                plan, variant_index.symbol_index,
+                variant_index.docid_index, variant_index.root_range,
+                maxgap_table=maxgap_table, stats=stats.filter,
+                granularity=maxgap_granularity)
+            for doc_ids, positions in candidates:
+                for doc_id in doc_ids:
+                    view = views.get(doc_id)
+                    if view is None:
+                        view = view_loader(doc_id)
+                        views[doc_id] = view
+                    emit(plan, view, doc_id, positions)
+
+    stats.matches = len(matches)
+    return matches, stats
+
+
+def _rare_label_candidates(plan, variant_index, force=False):
+    """Documents containing the rarest LPS(Q) label, or None.
+
+    A document's LPS passes through a trie node exactly when the
+    document's terminal lies inside that node's range, so the union of
+    Docid-index range queries over the rare label's trie nodes gives
+    every document that could possibly match any arrangement.
+    """
+    counts = variant_index.label_counts
+    if not plan.qlps:
+        return None
+    rare_label = min(plan.qlps, key=lambda label: counts.get(label, 0))
+    node_count = counts.get(rare_label, 0)
+    if node_count == 0:
+        return set()
+    if not force and node_count > RARE_LABEL_NODE_LIMIT:
+        return None
+    docs = set()
+    for left, right, _ in variant_index.symbol_index.range_query_full(
+            rare_label, variant_index.root_range[0],
+            variant_index.root_range[1]):
+        docs.update(variant_index.docid_index.documents_in(left, right))
+        if not force and len(docs) > RARE_LABEL_DOC_LIMIT:
+            return None
+    return docs
+
+
+def _document_lps(view):
+    """Reconstruct the document's LPS from its stored view."""
+    return [view.labels[view.nps[i]] for i in range(1, view.n_nodes)]
+
+
+def _subsequences_in_document(lps_seq, plan, maxgap_table, filter_stats):
+    """Enumerate subsequence occurrences of LPS(Q) inside one document.
+
+    Applies the same Theorem 4 gap bounds as the trie filter, so the two
+    strategies inspect comparable candidate sets.
+    """
+    from repro.prix.filtering import _maxgap_admits
+    from repro.prix.plan import REL_UNPRUNABLE
+
+    positions_of = {}
+    for position, label in enumerate(lps_seq, start=1):
+        positions_of.setdefault(label, []).append(position)
+    qlps = plan.qlps
+    for label in qlps:
+        if label not in positions_of:
+            return
+
+    chosen = [0] * len(qlps)
+
+    def recurse(index, after):
+        candidates = positions_of[qlps[index]]
+        for position in candidates:
+            if position <= after:
+                continue
+            filter_stats.nodes_visited += 1
+            if maxgap_table is not None and index > 0:
+                kind = plan.rel_kinds[index - 1]
+                if kind != REL_UNPRUNABLE:
+                    gap = position - chosen[index - 1]
+                    if not _maxgap_admits(
+                            kind, gap, maxgap_table.get(qlps[index - 1])):
+                        filter_stats.pruned_by_maxgap += 1
+                        continue
+            chosen[index] = position
+            if index + 1 == len(qlps):
+                filter_stats.candidates += 1
+                yield tuple(chosen)
+            else:
+                yield from recurse(index + 1, position)
+
+    yield from recurse(0, 0)
+
+
+def _to_images(embedding, plan, view, node_index, signatures):
+    """Convert a match-tree embedding to pattern-node images.
+
+    Returns ``(images, canonical)``: the per-pattern-node images, and the
+    automorphism-invariant ``(signature_id, image)`` set used to
+    deduplicate occurrences across branch arrangements.
+    """
+    items = []
+    canonical = []
+    for number, data_number in embedding.items():
+        source = plan.sources.get(number)
+        if source is None or source.is_star:
+            continue
+        original = view.original_number(data_number)
+        items.append((node_index[id(source)], original))
+        canonical.append((signatures[id(source)], original))
+    return tuple(sorted(items)), frozenset(canonical)

@@ -1,0 +1,22 @@
+"""Prufer sequence machinery (Section 3 of the paper).
+
+Provides the tree-to-sequence transformation (LPS and NPS, in both the
+Regular and Extended variants), the inverse reconstruction that witnesses
+the one-to-one correspondence, and the MaxGap upper-bounding distance
+metric of Section 5.4.
+"""
+
+from repro.prufer.maxgap import MaxGapTable, compute_maxgap, position_gaps
+from repro.prufer.reconstruct import reconstruct_document
+from repro.prufer.sequence import (PruferSequence, extended_sequence,
+                                   regular_sequence)
+
+__all__ = [
+    "MaxGapTable",
+    "PruferSequence",
+    "compute_maxgap",
+    "extended_sequence",
+    "position_gaps",
+    "regular_sequence",
+    "reconstruct_document",
+]

@@ -1,0 +1,73 @@
+"""MaxGap: the upper-bounding distance metric of Section 5.4.
+
+``MaxGap(e, delta)`` is the maximum, over every node labeled ``e`` in the
+collection, of the difference between the postorder numbers of its first
+and last children.  During subsequence matching, the gap between adjacent
+match positions is bounded by MaxGap of the earlier label (Theorem 4),
+letting the filter discard trie paths that cannot lead to a twig match
+without any false dismissals.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.tree import sequence_label
+
+
+class MaxGapTable:
+    """Per-label MaxGap values for one collection and sequence variant."""
+
+    def __init__(self, gaps=None):
+        self._gaps = dict(gaps or {})
+
+    def get(self, label):
+        """MaxGap for ``label``; labels with at most one child map to 0."""
+        return self._gaps.get(label, 0)
+
+    def merge_span(self, label, span):
+        """Fold one observed first-to-last child span into the table."""
+        if span > self._gaps.get(label, 0):
+            self._gaps[label] = span
+
+    def merge_node(self, node):
+        """Fold one (numbered) node's child span into the table."""
+        if len(node.children) >= 2:
+            span = node.children[-1].postorder - node.children[0].postorder
+            label = sequence_label(node)
+            if span > self._gaps.get(label, 0):
+                self._gaps[label] = span
+
+    def as_dict(self):
+        """Copy of the label -> MaxGap mapping."""
+        return dict(self._gaps)
+
+    def __len__(self):
+        return len(self._gaps)
+
+
+def position_gaps(seq):
+    """Per-position parent spans for the finer-grained MaxGap (§5.4).
+
+    ``gaps[i]`` is the first-to-last child span of the parent of the node
+    deleted at position ``i+1`` -- the quantity Theorem 4 bounds for the
+    occurrence at that sequence position.
+    """
+    first = {}
+    last = {}
+    for position, parent in enumerate(seq.nps, start=1):
+        if parent not in first:
+            first[parent] = position
+        last[parent] = position
+    return [last[parent] - first[parent] for parent in seq.nps]
+
+
+def compute_maxgap(documents):
+    """Compute the MaxGap table over a collection of numbered documents.
+
+    The documents must be numbered in the same variant the index uses:
+    pass extended documents when building the table for an EPIndex.
+    """
+    table = MaxGapTable()
+    for document in documents:
+        for node in document.nodes_in_postorder():
+            table.merge_node(node)
+    return table

@@ -1,0 +1,86 @@
+"""Inverse transform: rebuild a tree from its Prufer sequence.
+
+Witnesses the one-to-one correspondence the paper's indexing relies on
+(Section 3.1): from the NPS alone the tree *shape* is fully determined
+(``nps[i-1]`` is the parent of node ``i``, the root is node ``n``); the LPS
+supplies every non-leaf label; the stored leaf list supplies the rest.
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.errors import TreeConstructionError
+from repro.xmlkit.tree import VALUE_LABEL_PREFIX, Document, XMLNode
+
+
+def reconstruct_document(lps, nps, leaves, doc_id=0):
+    """Rebuild the :class:`Document` whose Prufer transform is given.
+
+    Args:
+        lps: labeled Prufer sequence (parent sequence-labels; value nodes
+            carry the :data:`VALUE_LABEL_PREFIX` marker).
+        nps: numbered Prufer sequence (parent postorder numbers).
+        leaves: iterable of ``(label, postorder)`` pairs for leaf nodes.
+        doc_id: identifier for the rebuilt document.
+
+    Returns:
+        A numbered :class:`Document` structurally identical to the original.
+    """
+    if len(lps) != len(nps):
+        raise TreeConstructionError("LPS and NPS lengths differ")
+    n_nodes = len(nps) + 1
+    if n_nodes < 1:
+        raise TreeConstructionError("empty sequence")
+
+    labels = {}
+    for parent_label, parent_number in zip(lps, nps):
+        if not 1 <= parent_number <= n_nodes:
+            raise TreeConstructionError(
+                f"NPS entry {parent_number} outside 1..{n_nodes}")
+        known = labels.get(parent_number)
+        if known is not None and known != parent_label:
+            raise TreeConstructionError(
+                f"node {parent_number} assigned two labels: "
+                f"{known!r} and {parent_label!r}")
+        labels[parent_number] = parent_label
+    for label, number in leaves:
+        known = labels.get(number)
+        if known is not None and known != label:
+            raise TreeConstructionError(
+                f"leaf {number} label conflicts with LPS-derived label")
+        labels[number] = label
+
+    missing = [i for i in range(1, n_nodes + 1) if i not in labels]
+    if missing:
+        raise TreeConstructionError(
+            f"labels unknown for nodes {missing[:5]} (leaf list incomplete?)")
+
+    nodes = {}
+    for i in range(1, n_nodes + 1):
+        label = labels[i]
+        if label.startswith(VALUE_LABEL_PREFIX):
+            nodes[i] = XMLNode(label[len(VALUE_LABEL_PREFIX):], is_value=True)
+        else:
+            nodes[i] = XMLNode(label)
+    # Children must hang under their parent in ascending postorder number:
+    # among siblings, document order equals postorder-number order.
+    for child_number, parent_number in enumerate(nps, start=1):
+        parent = nodes[parent_number]
+        if parent.is_value:
+            # Tolerate value parents during reconstruction of extended
+            # trees whose value leaves carry dummy children.
+            child = nodes[child_number]
+            child.parent = parent
+            parent.children.append(child)
+        else:
+            parent.append(nodes[child_number])
+
+    root = nodes[n_nodes]
+    document = Document(root, doc_id=doc_id)
+    for node in document.nodes_in_postorder():
+        expected = node.postorder
+        # Verify postorder consistency: a well-formed sequence reproduces
+        # the numbering it was built from.
+        if nodes[expected] is not node:
+            raise TreeConstructionError(
+                "sequence is not a valid postorder-numbered Prufer sequence")
+    return document

@@ -1,0 +1,82 @@
+"""Construction of Labeled and Numbered Prufer sequences.
+
+The paper's variant (Section 3.1) deletes nodes until a single node is
+left, producing a sequence of length n-1 for a tree with n nodes.  With
+postorder numbering, Lemma 1 makes construction trivial: the node deleted
+i-th is the node numbered i, so the i-th sequence entry is simply the label
+(LPS) or postorder number (NPS) of the *parent* of node i.
+
+Two variants are produced:
+
+- :func:`regular_sequence` -- the sequence of the tree as-is; leaf labels do
+  not appear (the basis of RPIndex),
+- :func:`extended_sequence` -- the sequence of the tree extended with a
+  dummy child under every leaf (Section 5.6), so every original node's
+  label appears (the basis of EPIndex).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlkit.tree import Document, extend_with_dummies, sequence_label
+
+
+@dataclass(frozen=True)
+class PruferSequence:
+    """The Prufer transform of one document (or query twig) tree.
+
+    Attributes:
+        lps: Labeled Prufer sequence -- parent labels, deletion order.
+        nps: Numbered Prufer sequence -- parent postorder numbers.
+        n_nodes: node count of the (possibly extended) tree.
+        leaves: ``(label, postorder)`` of each leaf of the sequenced tree,
+            stored for the leaf-refinement phase.
+        extended: True when this is an Extended-Prufer sequence.
+    """
+
+    lps: tuple
+    nps: tuple
+    n_nodes: int
+    leaves: tuple
+    extended: bool
+
+    def __len__(self):
+        return len(self.lps)
+
+    def parent_of(self, postorder_number):
+        """Postorder number of the parent of ``postorder_number``.
+
+        Exploits Lemma 1: the NPS entry at index ``i`` (1-based) is the
+        parent of the node numbered ``i``.  The root has no parent and
+        returns 0.
+        """
+        if postorder_number == self.n_nodes:
+            return 0
+        return self.nps[postorder_number - 1]
+
+
+def _sequence_of(document, extended):
+    nodes = document.nodes_in_postorder()
+    lps = []
+    nps = []
+    for node in nodes[:-1]:  # every node except the root
+        lps.append(sequence_label(node.parent))
+        nps.append(node.parent.postorder)
+    leaves = tuple((sequence_label(n), n.postorder)
+                   for n in nodes if n.is_leaf)
+    return PruferSequence(lps=tuple(lps), nps=tuple(nps),
+                          n_nodes=len(nodes), leaves=leaves,
+                          extended=extended)
+
+
+def regular_sequence(document):
+    """Return the Regular-Prufer sequence of a numbered document."""
+    return _sequence_of(document, extended=False)
+
+
+def extended_sequence(document):
+    """Return the Extended-Prufer sequence (dummy child under each leaf)."""
+    extended_doc = Document(extend_with_dummies(document.root),
+                            doc_id=document.doc_id)
+    return _sequence_of(extended_doc, extended=True)

@@ -1,0 +1,15 @@
+"""Query model: twig patterns and the XPath-subset parser."""
+
+from repro.query.twig import (Axis, CollapsedTwig, EdgeSpec, TwigNode,
+                              TwigPattern)
+from repro.query.xpath import XPathSyntaxError, parse_xpath
+
+__all__ = [
+    "Axis",
+    "CollapsedTwig",
+    "EdgeSpec",
+    "TwigNode",
+    "TwigPattern",
+    "XPathSyntaxError",
+    "parse_xpath",
+]

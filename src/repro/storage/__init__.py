@@ -1,0 +1,32 @@
+"""Disk storage substrate: pages, buffer pool, B+-tree, record store.
+
+The paper runs every index (PRIX's Trie-Symbol/Docid indexes, ViST's
+D-Ancestorship index, the XB-trees) on GiST B+-trees over 8 KiB pages with a
+2000-page buffer pool and direct I/O.  This package reproduces that stack in
+pure Python with explicit physical-read accounting so the "Disk IO (pages)"
+columns of Tables 4-9 can be regenerated.
+"""
+
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.codec import (decode_key, encode_int, encode_key,
+                                 encode_str)
+from repro.storage.errors import PageOverflowError, StorageError
+from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
+from repro.storage.records import RecordStore
+from repro.storage.stats import IOStats
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "IOStats",
+    "PageOverflowError",
+    "Pager",
+    "RecordStore",
+    "StorageError",
+    "decode_key",
+    "encode_int",
+    "encode_key",
+    "encode_str",
+]

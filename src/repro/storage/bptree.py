@@ -1,0 +1,494 @@
+"""Disk-based B+-tree over the buffer pool.
+
+This is the reproduction's stand-in for the GiST B+-trees the paper uses
+for every index (Trie-Symbol, Docid, D-Ancestorship, XB-tree).  Keys and
+values are byte strings; composite keys are produced by
+:mod:`repro.storage.codec` so bytewise order matches tuple order.
+
+Properties:
+
+- duplicate keys are supported (the Docid index maps one trie position to
+  many documents),
+- all access goes through the buffer pool, so physical page reads are
+  accounted exactly like the paper's direct-I/O setup,
+- deletion is *lazy* (no rebalancing): entries are removed in place and
+  empty leaves remain chained.  Search and scan correctness are unaffected,
+  which is all the reproduced experiments require,
+- :meth:`bulk_load` builds a packed tree bottom-up from sorted pairs; index
+  construction uses it instead of one-at-a-time inserts.
+
+Page layout::
+
+    byte 0      : 1 for leaf, 0 for internal
+    bytes 1-2   : entry count (uint16)
+    bytes 3-6   : leaf -> next-leaf page id; internal -> leftmost child id
+    bytes 7-    : leaf     entries: klen u16, key, vlen u16, value
+                  internal entries: klen u16, key, child page id u32
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+
+from repro.storage.errors import KeyNotFoundError, PageOverflowError
+
+_HEADER = struct.Struct("<BHI")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_NO_PAGE = 0xFFFFFFFF
+
+#: Meta page layout: magic, root page id, height, entry count.
+_META = struct.Struct("<8sIIQ")
+_MAGIC = b"PRIXBPT1"
+
+
+class _Node:
+    """In-memory image of one B+-tree page."""
+
+    __slots__ = ("page_id", "is_leaf", "keys", "values", "children",
+                 "next_leaf")
+
+    def __init__(self, page_id, is_leaf):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys = []
+        self.values = []    # leaf payloads
+        self.children = []  # internal child page ids (len(keys) + 1)
+        self.next_leaf = _NO_PAGE
+
+    def serialized_size(self):
+        """Bytes this node needs on a page."""
+        size = _HEADER.size
+        if self.is_leaf:
+            for key, val in zip(self.keys, self.values):
+                size += 4 + len(key) + len(val)
+        else:
+            for key in self.keys:
+                size += 6 + len(key)
+        return size
+
+
+def _parse_node(page_id, frame):
+    is_leaf, count, link = _HEADER.unpack_from(frame, 0)
+    node = _Node(page_id, bool(is_leaf))
+    pos = _HEADER.size
+    if node.is_leaf:
+        node.next_leaf = link
+        for _ in range(count):
+            (klen,) = _U16.unpack_from(frame, pos)
+            pos += 2
+            key = bytes(frame[pos:pos + klen])
+            pos += klen
+            (vlen,) = _U16.unpack_from(frame, pos)
+            pos += 2
+            val = bytes(frame[pos:pos + vlen])
+            pos += vlen
+            node.keys.append(key)
+            node.values.append(val)
+    else:
+        node.children.append(link)
+        for _ in range(count):
+            (klen,) = _U16.unpack_from(frame, pos)
+            pos += 2
+            key = bytes(frame[pos:pos + klen])
+            pos += klen
+            (child,) = _U32.unpack_from(frame, pos)
+            pos += 4
+            node.keys.append(key)
+            node.children.append(child)
+    return node
+
+
+def _serialize_node(node, page_size):
+    size = node.serialized_size()
+    if size > page_size:
+        raise PageOverflowError(
+            f"node with {len(node.keys)} entries needs {size} bytes "
+            f"but the page holds {page_size}")
+    frame = bytearray(page_size)
+    link = node.next_leaf if node.is_leaf else (
+        node.children[0] if node.children else _NO_PAGE)
+    _HEADER.pack_into(frame, 0, 1 if node.is_leaf else 0,
+                      len(node.keys), link)
+    pos = _HEADER.size
+    if node.is_leaf:
+        for key, val in zip(node.keys, node.values):
+            _U16.pack_into(frame, pos, len(key))
+            pos += 2
+            frame[pos:pos + len(key)] = key
+            pos += len(key)
+            _U16.pack_into(frame, pos, len(val))
+            pos += 2
+            frame[pos:pos + len(val)] = val
+            pos += len(val)
+    else:
+        for key, child in zip(node.keys, node.children[1:]):
+            _U16.pack_into(frame, pos, len(key))
+            pos += 2
+            frame[pos:pos + len(key)] = key
+            pos += len(key)
+            _U32.pack_into(frame, pos, child)
+            pos += 4
+    return frame
+
+
+class BPlusTree:
+    """A B+-tree whose nodes live in buffer-pool pages.
+
+    Create with :meth:`create` (allocates a meta page and an empty root) or
+    reattach to an existing tree with :meth:`attach`.
+    """
+
+    def __init__(self, pool, meta_page_id):
+        self._pool = pool
+        self._page_size = pool._pager.page_size
+        self._meta_page_id = meta_page_id
+        frame = pool.get(meta_page_id)
+        magic, root, height, count = _META.unpack_from(frame, 0)
+        if magic != _MAGIC:
+            raise ValueError("page is not a B+-tree meta page")
+        self._root_id = root
+        self._height = height
+        self._count = count
+
+    @classmethod
+    def create(cls, pool):
+        """Allocate and initialize a fresh, empty tree; return it."""
+        meta_id, _ = pool.new_page()
+        root_id, _ = pool.new_page()
+        root = _Node(root_id, is_leaf=True)
+        pool.put(root_id, _serialize_node(root, pool._pager.page_size))
+        cls._write_meta(pool, meta_id, root_id, 1, 0)
+        return cls(pool, meta_id)
+
+    @classmethod
+    def attach(cls, pool, meta_page_id):
+        """Reattach to a tree previously created in this pool's file."""
+        return cls(pool, meta_page_id)
+
+    @staticmethod
+    def _write_meta(pool, meta_id, root_id, height, count):
+        frame = bytearray(pool._pager.page_size)
+        _META.pack_into(frame, 0, _MAGIC, root_id, height, count)
+        pool.put(meta_id, frame)
+
+    def _sync_meta(self):
+        self._write_meta(self._pool, self._meta_page_id,
+                         self._root_id, self._height, self._count)
+
+    @property
+    def meta_page_id(self):
+        """Page id of this tree's metadata page."""
+        return self._meta_page_id
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def height(self):
+        """Number of levels from root to leaves."""
+        return self._height
+
+    def _load(self, page_id):
+        return self._pool.get_decoded(page_id, _parse_node)
+
+    def _save(self, node):
+        self._pool.put(node.page_id, _serialize_node(node, self._page_size))
+
+    # ------------------------------------------------------------------
+    # Lookup and scans
+    # ------------------------------------------------------------------
+
+    def _descend_left(self, key):
+        """Return the leaf that holds the first entry >= key."""
+        node = self._load(self._root_id)
+        while not node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            node = self._load(node.children[idx])
+        return node
+
+    def search(self, key):
+        """Return the value of the first entry with ``key``.
+
+        Raises :class:`KeyNotFoundError` when absent.
+        """
+        for _, val in self.range_scan(key, key, inclusive_hi=True):
+            return val
+        raise KeyNotFoundError(repr(key))
+
+    def get(self, key, default=None):
+        """Return the first value for ``key`` or ``default``."""
+        for _, val in self.range_scan(key, key, inclusive_hi=True):
+            return val
+        return default
+
+    def contains(self, key):
+        """Return True when at least one entry has exactly ``key``."""
+        for _ in self.range_scan(key, key, inclusive_hi=True):
+            return True
+        return False
+
+    def range_scan(self, lo=None, hi=None, inclusive_hi=False):
+        """Yield ``(key, value)`` pairs with ``lo <= key < hi``.
+
+        ``inclusive_hi=True`` makes the upper bound closed; ``None`` bounds
+        are open-ended.  Duplicates of a key are all yielded.
+        """
+        if lo is None:
+            node = self._load(self._root_id)
+            while not node.is_leaf:
+                node = self._load(node.children[0])
+            idx = 0
+        else:
+            node = self._descend_left(lo)
+            idx = bisect_left(node.keys, lo)
+        while True:
+            while idx < len(node.keys):
+                key = node.keys[idx]
+                if hi is not None:
+                    if inclusive_hi:
+                        if key > hi:
+                            return
+                    elif key >= hi:
+                        return
+                yield key, node.values[idx]
+                idx += 1
+            if node.next_leaf == _NO_PAGE:
+                return
+            node = self._load(node.next_leaf)
+            idx = 0
+
+    def items(self):
+        """Yield every ``(key, value)`` pair in key order."""
+        return self.range_scan()
+
+    def count_range(self, lo=None, hi=None, inclusive_hi=False):
+        """Return the number of entries in the given key range."""
+        return sum(1 for _ in self.range_scan(lo, hi, inclusive_hi))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert a ``(key, value)`` entry; duplicates are allowed."""
+        if not isinstance(key, (bytes, bytearray)):
+            raise TypeError("keys must be bytes (use repro.storage.codec)")
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        split = self._insert_into(self._root_id, bytes(key), bytes(value))
+        if split is not None:
+            sep_key, right_id = split
+            new_root = _Node(self._pool.new_page()[0], is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root_id, right_id]
+            self._save(new_root)
+            self._root_id = new_root.page_id
+            self._height += 1
+        self._count += 1
+        self._sync_meta()
+
+    def _insert_into(self, page_id, key, value):
+        """Insert beneath ``page_id``; return a (separator, right_id) split
+        descriptor when the node overflowed, else None."""
+        node = self._load(page_id)
+        if node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+        else:
+            idx = bisect_right(node.keys, key)
+            split = self._insert_into(node.children[idx], key, value)
+            if split is None:
+                return None
+            sep_key, right_id = split
+            node.keys.insert(idx, sep_key)
+            node.children.insert(idx + 1, right_id)
+        if node.serialized_size() <= self._page_size:
+            self._save(node)
+            return None
+        return self._split(node)
+
+    def _split(self, node):
+        """Split an overflowing node in half; return (separator, right_id)."""
+        mid = len(node.keys) // 2
+        right = _Node(self._pool.new_page()[0], node.is_leaf)
+        if node.is_leaf:
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            right.next_leaf = node.next_leaf
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            node.next_leaf = right.page_id
+            separator = right.keys[0]
+        else:
+            # The middle key moves up; it does not remain in either child.
+            separator = node.keys[mid]
+            right.keys = node.keys[mid + 1:]
+            right.children = node.children[mid + 1:]
+            node.keys = node.keys[:mid]
+            node.children = node.children[:mid + 1]
+        self._save(node)
+        self._save(right)
+        return separator, right.page_id
+
+    def delete(self, key, value=None):
+        """Remove the first entry matching ``key`` (and ``value`` if given).
+
+        Deletion is lazy: no rebalancing is performed.  Raises
+        :class:`KeyNotFoundError` if no matching entry exists.
+        """
+        node = self._descend_left(key)
+        idx = bisect_left(node.keys, key)
+        while True:
+            while idx < len(node.keys) and node.keys[idx] == key:
+                if value is None or node.values[idx] == value:
+                    del node.keys[idx]
+                    del node.values[idx]
+                    self._save(node)
+                    self._count -= 1
+                    self._sync_meta()
+                    return
+                idx += 1
+            if idx < len(node.keys) or node.next_leaf == _NO_PAGE:
+                raise KeyNotFoundError(repr(key))
+            node = self._load(node.next_leaf)
+            idx = 0
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(cls, pool, pairs, fill_factor=0.9):
+        """Build a packed tree from ``pairs`` sorted by key; return it.
+
+        ``fill_factor`` bounds how full each page is packed, leaving slack
+        for later inserts.
+        """
+        if not 0.1 <= fill_factor <= 1.0:
+            raise ValueError("fill_factor must be in [0.1, 1.0]")
+        page_size = pool._pager.page_size
+        budget = int(page_size * fill_factor)
+        meta_id, _ = pool.new_page()
+
+        # Build the leaf level.
+        leaves = []   # (first_key, page_id)
+        current = _Node(pool.new_page()[0], is_leaf=True)
+        size = _HEADER.size
+        count = 0
+        prev_key = None
+        for key, value in pairs:
+            key = bytes(key)
+            value = bytes(value)
+            if prev_key is not None and key < prev_key:
+                raise ValueError("bulk_load input must be sorted by key")
+            prev_key = key
+            entry = 4 + len(key) + len(value)
+            if size + entry > budget and current.keys:
+                nxt = _Node(pool.new_page()[0], is_leaf=True)
+                current.next_leaf = nxt.page_id
+                pool.put(current.page_id,
+                         _serialize_node(current, page_size))
+                leaves.append((current.keys[0], current.page_id))
+                current = nxt
+                size = _HEADER.size
+            current.keys.append(key)
+            current.values.append(value)
+            size += entry
+            count += 1
+        pool.put(current.page_id, _serialize_node(current, page_size))
+        if current.keys:
+            leaves.append((current.keys[0], current.page_id))
+        elif not leaves:
+            leaves.append((b"", current.page_id))
+
+        # Build internal levels bottom-up.
+        level = leaves
+        height = 1
+        while len(level) > 1:
+            next_level = []
+            node = _Node(pool.new_page()[0], is_leaf=False)
+            node.children.append(level[0][1])
+            first_key = level[0][0]
+            size = _HEADER.size
+            for sep_key, child_id in level[1:]:
+                entry = 6 + len(sep_key)
+                if size + entry > budget and node.keys:
+                    pool.put(node.page_id, _serialize_node(node, page_size))
+                    next_level.append((first_key, node.page_id))
+                    node = _Node(pool.new_page()[0], is_leaf=False)
+                    node.children.append(child_id)
+                    first_key = sep_key
+                    size = _HEADER.size
+                    continue
+                node.keys.append(sep_key)
+                node.children.append(child_id)
+                size += entry
+            pool.put(node.page_id, _serialize_node(node, page_size))
+            next_level.append((first_key, node.page_id))
+            level = next_level
+            height += 1
+
+        root_id = level[0][1]
+        cls._write_meta(pool, meta_id, root_id, height, count)
+        return cls(pool, meta_id)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self):
+        """Verify ordering, separator bounds, and leaf-chain consistency.
+
+        Raises AssertionError with a description of the first violation.
+        """
+        leaf_first_ids = []
+
+        def walk(page_id, lo, hi, depth):
+            node = self._load(page_id)
+            for i in range(1, len(node.keys)):
+                assert node.keys[i - 1] <= node.keys[i], (
+                    f"page {page_id}: keys out of order at {i}")
+            for key in node.keys:
+                assert lo is None or key >= lo, (
+                    f"page {page_id}: key below lower bound")
+                # Duplicates may equal the separator on either side (a
+                # split can cut inside a run of equal keys), so the upper
+                # bound is inclusive.
+                assert hi is None or key <= hi, (
+                    f"page {page_id}: key above upper bound")
+            if node.is_leaf:
+                leaf_first_ids.append((depth, page_id))
+                return depth
+            assert len(node.children) == len(node.keys) + 1, (
+                f"page {page_id}: child/key arity mismatch")
+            depths = set()
+            bounds = [lo] + node.keys + [hi]
+            for child, (clo, chi) in zip(node.children,
+                                         zip(bounds[:-1], bounds[1:])):
+                depths.add(walk(child, clo, chi, depth + 1))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        walk(self._root_id, None, None, 1)
+        depths = {d for d, _ in leaf_first_ids}
+        assert len(depths) <= 1, "leaf depth not uniform"
+
+        # The leaf chain must enumerate exactly the leaves found by the walk.
+        chained = []
+        node = self._load(self._root_id)
+        while not node.is_leaf:
+            node = self._load(node.children[0])
+        while True:
+            chained.append(node.page_id)
+            if node.next_leaf == _NO_PAGE:
+                break
+            node = self._load(node.next_leaf)
+        walk_leaves = [pid for _, pid in leaf_first_ids]
+        assert chained == walk_leaves, "leaf chain disagrees with tree walk"
+
+        total = sum(1 for _ in self.items())
+        assert total == self._count, (
+            f"entry count {self._count} != scanned {total}")

@@ -1,0 +1,114 @@
+"""Order-preserving key encoding for B+-tree keys.
+
+Composite keys (e.g. ViST's ``(symbol, prefix, LeftPos)``) must compare in
+bytewise order exactly as their component tuples compare in Python.  The
+encoding here guarantees that:
+
+- integers become 8-byte big-endian unsigned values,
+- strings become UTF-8 with ``0x00`` escaped, terminated by ``0x00 0x00``
+  (so a string that is a strict prefix of another sorts first),
+- tuples are the concatenation of their encoded components, prefixed by a
+  one-byte type marker per component so heterogeneous keys stay unambiguous.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_INT_MARK = b"\x01"
+_STR_MARK = b"\x02"
+_INT_STRUCT = struct.Struct(">Q")
+
+#: Largest integer representable in a key (matches the 8-byte ranges the
+#: paper uses to label virtual-trie nodes).
+MAX_KEY_INT = 2 ** 64 - 1
+
+
+def encode_int(number):
+    """Encode a non-negative integer, preserving numeric order."""
+    if not 0 <= number <= MAX_KEY_INT:
+        raise ValueError(f"key integer out of range: {number}")
+    return _INT_STRUCT.pack(number)
+
+
+def encode_str(text):
+    """Encode a string, preserving lexicographic order, with terminator."""
+    raw = text.encode("utf-8").replace(b"\x00", b"\x00\xff")
+    return raw + b"\x00\x00"
+
+
+def encode_key(*parts):
+    """Encode a composite key from int and str components."""
+    chunks = []
+    for part in parts:
+        if isinstance(part, bool):
+            raise TypeError("bool is not a supported key component")
+        if isinstance(part, int):
+            chunks.append(_INT_MARK)
+            chunks.append(encode_int(part))
+        elif isinstance(part, str):
+            chunks.append(_STR_MARK)
+            chunks.append(encode_str(part))
+        else:
+            raise TypeError(f"unsupported key component: {type(part).__name__}")
+    return b"".join(chunks)
+
+
+def encode_varints(numbers):
+    """Encode a sequence of non-negative integers as LEB128 varints."""
+    out = bytearray()
+    for number in numbers:
+        if number < 0:
+            raise ValueError("varints encode non-negative integers only")
+        while True:
+            byte = number & 0x7F
+            number >>= 7
+            if number:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+    return bytes(out)
+
+
+def decode_varints(data):
+    """Decode a LEB128 varint stream back into a list of integers."""
+    numbers = []
+    shift = 0
+    current = 0
+    for byte in data:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            shift += 7
+        else:
+            numbers.append(current)
+            current = 0
+            shift = 0
+    if shift:
+        raise ValueError("truncated varint stream")
+    return numbers
+
+
+def decode_key(data):
+    """Decode a composite key back into its component tuple."""
+    parts = []
+    pos = 0
+    length = len(data)
+    while pos < length:
+        marker = data[pos:pos + 1]
+        pos += 1
+        if marker == _INT_MARK:
+            parts.append(_INT_STRUCT.unpack_from(data, pos)[0])
+            pos += 8
+        elif marker == _STR_MARK:
+            # Inside the escaped body every 0x00 is followed by 0xff, so the
+            # first 0x00 0x00 pair is necessarily the terminator.
+            end = data.find(b"\x00\x00", pos)
+            if end < 0:
+                raise ValueError("unterminated string component")
+            raw = data[pos:end].replace(b"\x00\xff", b"\x00")
+            parts.append(raw.decode("utf-8"))
+            pos = end + 2
+        else:
+            raise ValueError(f"bad key marker {marker!r} at {pos - 1}")
+    return tuple(parts)

@@ -1,0 +1,17 @@
+"""Errors raised by the storage substrate."""
+
+
+class StorageError(Exception):
+    """Base class for storage-layer failures."""
+
+
+class PageOverflowError(StorageError):
+    """A record or node entry is too large for a single page."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id is outside the allocated range of the file."""
+
+
+class KeyNotFoundError(StorageError, KeyError):
+    """A delete or exact lookup referenced a key that is absent."""

@@ -1,0 +1,96 @@
+"""Append-only record store for variable-length blobs.
+
+PRIX keeps each document's NPS, LPS and leaf-node list in the database
+(Sections 3.2 and 4.3); ViST keeps document sequences similarly.  Records
+are packed densely: small records share pages (a refinement pass over k
+small documents costs ~k * record_size / page_size page reads, not k
+pages), and records larger than a page span consecutively allocated
+pages.
+
+A record id is ``(page_id, offset, length)`` -- enough to locate the
+record without any directory I/O.
+"""
+
+from __future__ import annotations
+
+from repro.storage.errors import StorageError
+
+
+class RecordStore:
+    """Blob storage over a buffer pool with page-granular I/O accounting."""
+
+    def __init__(self, pool):
+        self._pool = pool
+        self._page_size = pool._pager.page_size
+        self._current_page = None
+        self._current_offset = 0
+
+    def append(self, blob):
+        """Store ``blob``; return its record id ``(page, offset, length)``.
+
+        Small records pack into the current page; a record that does not
+        fit in the remaining space starts on a fresh page and, if larger
+        than one page, spans consecutively allocated pages.
+        """
+        if not isinstance(blob, (bytes, bytearray)):
+            raise TypeError("blobs must be bytes")
+        fits_in_current = (
+            self._current_page is not None
+            and self._current_offset + len(blob) <= self._page_size)
+        if not fits_in_current:
+            pages_needed = max(1, -(-len(blob) // self._page_size))
+            first_page = None
+            previous = None
+            for _ in range(pages_needed):
+                page_id, _ = self._pool.new_page()
+                if first_page is None:
+                    first_page = page_id
+                elif page_id != previous + 1:
+                    raise StorageError(
+                        "record pages must be allocated consecutively")
+                previous = page_id
+            self._current_page = first_page
+            self._current_offset = 0
+
+        first_page = self._current_page
+        first_offset = self._current_offset
+        pos = 0
+        page_id = first_page
+        offset = first_offset
+        while pos < len(blob):
+            frame = self._pool.get(page_id)
+            take = min(self._page_size - offset, len(blob) - pos)
+            frame[offset:offset + take] = blob[pos:pos + take]
+            self._pool.mark_dirty(page_id)
+            pos += take
+            offset += take
+            if offset >= self._page_size and pos < len(blob):
+                page_id += 1
+                offset = 0
+        self._current_page = page_id
+        self._current_offset = offset
+        return (first_page, first_offset, len(blob))
+
+    def read(self, rid):
+        """Return the blob stored under record id ``rid``."""
+        page_id, offset, length = rid
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            frame = self._pool.get(page_id)
+            take = min(self._page_size - offset, remaining)
+            chunks.append(bytes(frame[offset:offset + take]))
+            remaining -= take
+            page_id += 1
+            offset = 0
+        return b"".join(chunks)
+
+    def pages_for(self, rid):
+        """Number of pages the record touches."""
+        _, offset, length = rid
+        if length == 0:
+            return 1
+        first = self._page_size - offset
+        if length <= first:
+            return 1
+        return 1 + -(-(length - first) // self._page_size)

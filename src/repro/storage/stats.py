@@ -1,0 +1,64 @@
+"""I/O accounting shared by the pager and buffer pool.
+
+A single :class:`IOStats` instance is threaded through a storage stack; the
+benchmark harness snapshots it before and after each query to report page
+reads the same way the paper does (cold buffer pool, direct I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters for logical and physical page traffic."""
+
+    physical_reads: int = 0
+    physical_writes: int = 0
+    logical_reads: int = 0
+    evictions: int = 0
+    allocations: int = 0
+
+    def snapshot(self):
+        """Return an independent copy of the current counters."""
+        return IOStats(self.physical_reads, self.physical_writes,
+                       self.logical_reads, self.evictions, self.allocations)
+
+    def delta(self, earlier):
+        """Return the counter increments since ``earlier``."""
+        return IOStats(
+            self.physical_reads - earlier.physical_reads,
+            self.physical_writes - earlier.physical_writes,
+            self.logical_reads - earlier.logical_reads,
+            self.evictions - earlier.evictions,
+            self.allocations - earlier.allocations,
+        )
+
+    def reset(self):
+        """Zero every counter."""
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.logical_reads = 0
+        self.evictions = 0
+        self.allocations = 0
+
+    @property
+    def hit_ratio(self):
+        """Fraction of logical reads served from the pool."""
+        if self.logical_reads == 0:
+            return 1.0
+        return 1.0 - self.physical_reads / self.logical_reads
+
+
+@dataclass
+class StatsRegistry:
+    """Named IOStats instances, one per storage stack under measurement."""
+
+    stacks: dict = field(default_factory=dict)
+
+    def get(self, name):
+        """The named stack's stats, created on first use."""
+        if name not in self.stacks:
+            self.stacks[name] = IOStats()
+        return self.stacks[name]

@@ -1,0 +1,25 @@
+"""The virtual trie of Labeled Prufer sequences (Section 5.2).
+
+The trie is "virtual": at query time only its B+-tree projection exists
+(the Trie-Symbol and Docid indexes built by :mod:`repro.prix.index`).  This
+package provides the in-memory construction used at build time and the two
+containment-labeling schemes:
+
+- :class:`~repro.trie.labeling.BulkDFSLabeler` -- exact, gap-free labels
+  assigned by a DFS over the finished trie (used for static corpora),
+- :class:`~repro.trie.labeling.DynamicLabeler` -- the paper-faithful
+  dynamic scheme with alpha-prefix pre-allocation, which can suffer scope
+  underflows (Section 5.2.1); underflows are counted and trigger a rebuild.
+"""
+
+from repro.trie.labeling import (BulkDFSLabeler, DynamicLabeler,
+                                 ScopeUnderflowError)
+from repro.trie.trie import SequenceTrie, TrieNode
+
+__all__ = [
+    "BulkDFSLabeler",
+    "DynamicLabeler",
+    "ScopeUnderflowError",
+    "SequenceTrie",
+    "TrieNode",
+]

@@ -1,0 +1,25 @@
+"""XML substrate: tokenizer, parser, tree model and serializer.
+
+Implemented from scratch (no ``xml.etree``/``lxml``) so the whole stack,
+down to the byte stream, is under the reproduction's control.
+"""
+
+from repro.xmlkit.errors import XMLSyntaxError
+from repro.xmlkit.parser import (parse_document, parse_fragment,
+                                 split_documents)
+from repro.xmlkit.serializer import serialize
+from repro.xmlkit.tokenizer import Token, TokenType, tokenize
+from repro.xmlkit.tree import Document, XMLNode
+
+__all__ = [
+    "Document",
+    "Token",
+    "TokenType",
+    "XMLNode",
+    "XMLSyntaxError",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "split_documents",
+    "tokenize",
+]

@@ -1,0 +1,19 @@
+"""Errors raised by the XML substrate."""
+
+
+class XMLSyntaxError(ValueError):
+    """Raised when the tokenizer or parser encounters malformed XML.
+
+    Carries the byte offset and a human-readable reason so callers can
+    surface precise diagnostics.
+    """
+
+    def __init__(self, message, offset=None):
+        self.offset = offset
+        if offset is not None:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+
+
+class TreeConstructionError(ValueError):
+    """Raised when an operation would produce an invalid document tree."""

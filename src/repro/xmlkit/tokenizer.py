@@ -1,0 +1,199 @@
+"""A from-scratch streaming XML tokenizer.
+
+The tokenizer turns XML text into a flat stream of :class:`Token` objects:
+start tags (with attributes), end tags, and character data.  Comments,
+processing instructions, the XML declaration and DOCTYPE are consumed and
+discarded; CDATA sections and the five predefined entities are decoded into
+character data.
+
+It deliberately implements the subset of XML 1.0 that database corpora use
+(DBLP, SWISSPROT and TREEBANK are all plain element/attribute/PCDATA
+documents); exotic features such as external DTD entities are rejected with
+:class:`~repro.xmlkit.errors.XMLSyntaxError` rather than silently
+mis-parsed.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.xmlkit.errors import XMLSyntaxError
+
+
+class TokenType(enum.Enum):
+    """Kinds of tokens produced by :func:`tokenize`."""
+
+    START = "start"
+    END = "end"
+    TEXT = "text"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit of an XML document."""
+
+    type: TokenType
+    value: str
+    attrs: tuple = field(default=())
+    self_closing: bool = False
+    offset: int = 0
+
+
+_NAME_RE = re.compile(
+    "[A-Za-z_:\u0080-\U0010ffff][-A-Za-z0-9._:\u0080-\U0010ffff]*")
+_WS_RE = re.compile(r"\s+")
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+_ENTITY_RE = re.compile(r"&(#x?[0-9A-Fa-f]+|[A-Za-z]+);")
+
+
+def _decode_entities(text, offset):
+    """Replace predefined and numeric character references in ``text``."""
+
+    def replace(match):
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        try:
+            return _ENTITIES[body]
+        except KeyError:
+            raise XMLSyntaxError(
+                f"unknown entity &{body};", offset + match.start()
+            ) from None
+
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(replace, text)
+
+
+def _parse_attributes(text, base_offset):
+    """Parse the attribute region of a start tag into (name, value) pairs."""
+    attrs = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ws = _WS_RE.match(text, pos)
+        if ws:
+            pos = ws.end()
+        if pos >= length:
+            break
+        name_match = _NAME_RE.match(text, pos)
+        if not name_match:
+            raise XMLSyntaxError("malformed attribute name", base_offset + pos)
+        name = name_match.group(0)
+        pos = name_match.end()
+        ws = _WS_RE.match(text, pos)
+        if ws:
+            pos = ws.end()
+        if pos >= length or text[pos] != "=":
+            raise XMLSyntaxError(
+                f"attribute {name!r} missing '='", base_offset + pos
+            )
+        pos += 1
+        ws = _WS_RE.match(text, pos)
+        if ws:
+            pos = ws.end()
+        if pos >= length or text[pos] not in "\"'":
+            raise XMLSyntaxError(
+                f"attribute {name!r} value must be quoted", base_offset + pos
+            )
+        quote = text[pos]
+        end = text.find(quote, pos + 1)
+        if end < 0:
+            raise XMLSyntaxError(
+                f"unterminated value for attribute {name!r}", base_offset + pos
+            )
+        raw = text[pos + 1:end]
+        attrs.append((name, _decode_entities(raw, base_offset + pos + 1)))
+        pos = end + 1
+    return tuple(attrs)
+
+
+def tokenize(text):
+    """Yield the :class:`Token` stream of an XML document string."""
+    pos = 0
+    length = len(text)
+    while pos < length:
+        if text[pos] != "<":
+            next_lt = text.find("<", pos)
+            if next_lt < 0:
+                next_lt = length
+            raw = text[pos:next_lt]
+            decoded = _decode_entities(raw, pos)
+            if decoded.strip():
+                yield Token(TokenType.TEXT, decoded, offset=pos)
+            pos = next_lt
+            continue
+
+        if text.startswith("<!--", pos):
+            end = text.find("-->", pos + 4)
+            if end < 0:
+                raise XMLSyntaxError("unterminated comment", pos)
+            pos = end + 3
+            continue
+
+        if text.startswith("<![CDATA[", pos):
+            end = text.find("]]>", pos + 9)
+            if end < 0:
+                raise XMLSyntaxError("unterminated CDATA section", pos)
+            raw = text[pos + 9:end]
+            if raw:
+                yield Token(TokenType.TEXT, raw, offset=pos)
+            pos = end + 3
+            continue
+
+        if text.startswith("<!DOCTYPE", pos):
+            # Consume up to the matching '>', honoring an internal subset.
+            depth = 0
+            scan = pos
+            while scan < length:
+                char = text[scan]
+                if char == "[":
+                    depth += 1
+                elif char == "]":
+                    depth -= 1
+                elif char == ">" and depth <= 0:
+                    break
+                scan += 1
+            if scan >= length:
+                raise XMLSyntaxError("unterminated DOCTYPE", pos)
+            pos = scan + 1
+            continue
+
+        if text.startswith("<?", pos):
+            end = text.find("?>", pos + 2)
+            if end < 0:
+                raise XMLSyntaxError("unterminated processing instruction", pos)
+            pos = end + 2
+            continue
+
+        if text.startswith("</", pos):
+            end = text.find(">", pos + 2)
+            if end < 0:
+                raise XMLSyntaxError("unterminated end tag", pos)
+            name = text[pos + 2:end].strip()
+            if not _NAME_RE.fullmatch(name):
+                raise XMLSyntaxError(f"malformed end tag {name!r}", pos)
+            yield Token(TokenType.END, name, offset=pos)
+            pos = end + 1
+            continue
+
+        # Ordinary start tag.
+        end = text.find(">", pos + 1)
+        if end < 0:
+            raise XMLSyntaxError("unterminated start tag", pos)
+        body = text[pos + 1:end]
+        self_closing = body.endswith("/")
+        if self_closing:
+            body = body[:-1]
+        name_match = _NAME_RE.match(body)
+        if not name_match:
+            raise XMLSyntaxError("malformed start tag", pos)
+        name = name_match.group(0)
+        attrs = _parse_attributes(body[name_match.end():], pos + 1 + name_match.end())
+        yield Token(TokenType.START, name, attrs=attrs,
+                    self_closing=self_closing, offset=pos)
+        pos = end + 1

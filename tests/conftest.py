@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import random
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.datasets import (dblp, figure1_documents, figure2_document,
+                            swissprot, treebank)
+from repro.prix.index import PrixIndex
+from repro.xmlkit.tree import Document, XMLNode
+
+
+@pytest.fixture(scope="session")
+def fig2_doc():
+    """The paper's Figure 2(a) tree."""
+    return figure2_document()
+
+
+@pytest.fixture(scope="session")
+def fig1_docs():
+    return figure1_documents()
+
+
+@pytest.fixture(scope="session")
+def tiny_dblp():
+    return dblp(n_records=120)
+
+
+@pytest.fixture(scope="session")
+def tiny_swissprot():
+    return swissprot(n_entries=40)
+
+
+@pytest.fixture(scope="session")
+def tiny_treebank():
+    return treebank(n_sentences=60)
+
+
+@pytest.fixture(scope="session")
+def tiny_indexes(tiny_dblp, tiny_swissprot, tiny_treebank):
+    """PRIX indexes over the three tiny corpora."""
+    return {
+        "dblp": PrixIndex.build(tiny_dblp.documents),
+        "swissprot": PrixIndex.build(tiny_swissprot.documents),
+        "treebank": PrixIndex.build(tiny_treebank.documents),
+    }

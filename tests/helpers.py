@@ -1,0 +1,51 @@
+"""Shared helpers for the test suite (importable without packaging)."""
+
+import random
+
+from repro.xmlkit.tree import Document, XMLNode
+
+
+def make_random_tree(rng, max_nodes=16, tags="abcd", value_p=0.2,
+                     values=("v1", "v2", "v3")):
+    """Random ordered labeled tree (shared by differential tests)."""
+    root = XMLNode(rng.choice(tags))
+    nodes = [root]
+    for _ in range(rng.randint(1, max_nodes)):
+        parent = rng.choice([n for n in nodes if not n.is_value])
+        if rng.random() < value_p:
+            child = XMLNode(rng.choice(values), is_value=True)
+        else:
+            child = XMLNode(rng.choice(tags))
+        parent.append(child)
+        nodes.append(child)
+    return root
+
+
+def make_random_document(seed, doc_id=1, **kwargs):
+    rng = random.Random(seed)
+    return Document(make_random_tree(rng, **kwargs), doc_id=doc_id)
+
+
+def make_random_twig(rng, max_nodes=5, tags="abcd", star_p=0.15,
+                     value_p=0.12, descendant_p=0.35, absolute_p=0.15,
+                     values=("v1", "v2", "v3")):
+    """Random twig pattern over the same alphabet as make_random_tree."""
+    from repro.query.twig import Axis, TwigNode, TwigPattern
+
+    root = TwigNode(rng.choice(tags))
+    nodes = [root]
+    for _ in range(rng.randint(1, max_nodes)):
+        parents = [n for n in nodes if not n.is_value and not n.is_star]
+        parent = rng.choice(parents)
+        axis = Axis.DESCENDANT if rng.random() < descendant_p else Axis.CHILD
+        roll = rng.random()
+        if roll < value_p:
+            child = TwigNode(rng.choice(values), axis=axis, is_value=True)
+        elif roll < value_p + star_p:
+            child = TwigNode("*", axis=axis)
+        else:
+            child = TwigNode(rng.choice(tags), axis=axis)
+        parent.append(child)
+        nodes.append(child)
+    return TwigPattern(root, absolute=rng.random() < absolute_p,
+                       source="random")

@@ -1,0 +1,105 @@
+"""Oracle self-tests: semantics of the exhaustive matcher."""
+
+from repro.baselines.naive import (label_histogram, naive_match_count,
+                                   naive_matches)
+from repro.query.xpath import parse_xpath
+from repro.xmlkit.parser import parse_document
+
+
+def doc(text, doc_id=1):
+    return parse_document(text, doc_id)
+
+
+class TestBasicMatching:
+    def test_child_axis(self):
+        document = doc("<a><b/><c><b/></c></a>")
+        assert len(naive_matches(document, parse_xpath("//a/b"))) == 1
+
+    def test_descendant_axis(self):
+        document = doc("<a><b/><c><b/></c></a>")
+        assert len(naive_matches(document, parse_xpath("//a//b"))) == 2
+
+    def test_absolute_anchoring(self):
+        document = doc("<a><a><b/></a></a>")
+        assert len(naive_matches(document, parse_xpath("/a/b"))) == 0
+        assert len(naive_matches(document, parse_xpath("/a/a/b"))) == 1
+        assert len(naive_matches(document, parse_xpath("//a/b"))) == 1
+
+    def test_value_matching(self):
+        document = doc("<a><b>x</b><b>y</b></a>")
+        assert len(naive_matches(document,
+                                 parse_xpath('//b[text()="x"]'))) == 1
+
+    def test_value_does_not_match_element(self):
+        document = doc("<a><b><x/></b></a>")
+        assert len(naive_matches(document,
+                                 parse_xpath('//b[text()="x"]'))) == 0
+
+    def test_star_matches_elements_only(self):
+        document = doc("<a><b/>text</a>")
+        assert len(naive_matches(document, parse_xpath("//a/*"))) == 1
+
+
+class TestPrixSemantics:
+    def test_branches_must_use_distinct_subtrees(self):
+        # d[.//c][./b] where c sits inside b: not an LCA-preserving match.
+        document = doc("<d><b><c/></b></d>")
+        pattern = parse_xpath("//d[.//c][./b]")
+        assert len(naive_matches(document, pattern)) == 0
+        assert len(naive_matches(document, pattern,
+                                 semantics="xpath")) == 1
+
+    def test_injectivity(self):
+        # a[./b][./b] on a single b: PRIX needs two distinct b's.
+        document = doc("<a><b/></a>")
+        pattern = parse_xpath("//a[./b][./b]")
+        assert len(naive_matches(document, pattern)) == 0
+        document2 = doc("<a><b/><b/></a>")
+        assert len(naive_matches(document2, pattern)) == 1
+
+    def test_identical_branches_counted_once(self):
+        document = doc("<a><b/><b/></a>")
+        pattern = parse_xpath("//a[./b][./b]")
+        # One occurrence (the unordered pair), not two assignments.
+        assert len(naive_matches(document, pattern)) == 1
+
+    def test_star_exists_but_not_reported(self):
+        document = doc("<a><b/><c/></a>")
+        pattern = parse_xpath("//a/*")
+        matches = naive_matches(document, pattern)
+        # Two children satisfy the star, but the reported embedding maps
+        # only the named root, so there is one distinct occurrence.
+        assert len(matches) == 1
+        (embedding,) = matches
+        assert len(embedding) == 1
+
+
+class TestOrderedSemantics:
+    def test_branch_order_respected(self):
+        document = doc("<a><b/><c/></a>")
+        assert len(naive_matches(document, parse_xpath("//a[./b]/c"),
+                                 ordered=True)) == 1
+        assert len(naive_matches(document, parse_xpath("//a[./c]/b"),
+                                 ordered=True)) == 0
+
+    def test_ordered_subset(self):
+        document = doc("<a><c/><b/><c/></a>")
+        pattern = parse_xpath("//a[./b]/c")
+        ordered = naive_matches(document, pattern, ordered=True)
+        unordered = naive_matches(document, pattern)
+        assert ordered <= unordered
+        assert len(unordered) == 2
+        assert len(ordered) == 1
+
+
+class TestHelpers:
+    def test_match_count_sums_documents(self):
+        docs = [doc("<a><b/></a>", 1), doc("<a><b/><b/></a>", 2)]
+        assert naive_match_count(docs, parse_xpath("//a/b")) == 3
+
+    def test_label_histogram(self):
+        docs = [doc("<a><b/>x</a>", 1)]
+        histogram = label_histogram(docs)
+        assert histogram["a"] == 1
+        assert histogram["b"] == 1
+        assert histogram["\x1fx"] == 1

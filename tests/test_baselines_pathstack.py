@@ -1,0 +1,100 @@
+"""PathStack tests (the published linear-path algorithm)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_random_tree
+from repro.baselines.naive import naive_matches
+from repro.baselines.pathstack import path_stack
+from repro.baselines.region import StreamSet
+from repro.query.twig import Axis, TwigNode, TwigPattern
+from repro.query.xpath import parse_xpath
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.tree import Document
+
+
+def stream_set(docs):
+    pool = BufferPool(Pager.in_memory())
+    return StreamSet.build(docs, pool)
+
+
+class TestPathStack:
+    def test_child_path(self):
+        docs = [parse_document("<a><b><c/></b><c/></a>", 1)]
+        matches, _ = path_stack(parse_xpath("//a/b/c"), stream_set(docs))
+        assert len(matches) == 1
+
+    def test_descendant_path(self):
+        docs = [parse_document("<a><x><b/></x><b/></a>", 1)]
+        matches, _ = path_stack(parse_xpath("//a//b"), stream_set(docs))
+        assert len(matches) == 2
+
+    def test_value_leaf(self):
+        docs = [parse_document("<a><b>x</b><b>y</b></a>", 1)]
+        matches, _ = path_stack(parse_xpath('//a/b[text()="y"]'),
+                                stream_set(docs))
+        assert len(matches) == 1
+
+    def test_recursive_same_tag_path(self):
+        # The self-ancestor trap: one element must never pair with
+        # itself when the query chains the same tag.
+        docs = [parse_document("<c><c><c/></c></c>", 1)]
+        matches, _ = path_stack(parse_xpath("//c//c"), stream_set(docs))
+        assert len(matches) == 3  # (1,2),(1,3),(2,3) by postorder pairs
+
+    def test_branching_rejected(self):
+        docs = [parse_document("<a/>", 1)]
+        with pytest.raises(ValueError):
+            path_stack(parse_xpath("//a[./b]/c"), stream_set(docs))
+
+    def test_each_element_scanned_once(self):
+        docs = [parse_document("<a>" + "<b/>" * 50 + "</a>", 1)]
+        streams = stream_set(docs)
+        _, stats = path_stack(parse_xpath("//a/b"), streams)
+        # Optimality: 51 elements, each touched exactly once.
+        assert stats.elements_scanned == 51
+
+
+def _random_path_query(rng, tags="abc"):
+    root = TwigNode(rng.choice(tags))
+    node = root
+    for _ in range(rng.randint(1, 4)):
+        axis = Axis.DESCENDANT if rng.random() < 0.4 else Axis.CHILD
+        if rng.random() < 0.15:
+            node = node.append(TwigNode(rng.choice(["v1", "v2"]),
+                                        axis=axis, is_value=True))
+            break
+        node = node.append(TwigNode(rng.choice(tags), axis=axis))
+    return TwigPattern(root, absolute=False, source="path")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31))
+def test_pathstack_matches_xpath_oracle(seed):
+    rng = random.Random(seed)
+    docs = [Document(make_random_tree(rng, max_nodes=15), doc_id=i + 1)
+            for i in range(3)]
+    pattern = _random_path_query(rng)
+    got, _ = path_stack(pattern, stream_set(docs))
+    want = {(d.doc_id, emb) for d in docs
+            for emb in naive_matches(d, pattern, semantics="xpath")}
+    assert got == want
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31))
+def test_pathstack_agrees_with_twigstack(seed):
+    from repro.baselines.twigstack import twig_stack
+    rng = random.Random(seed)
+    docs = [Document(make_random_tree(rng, max_nodes=15), doc_id=i + 1)
+            for i in range(3)]
+    pattern = _random_path_query(rng)
+    streams = stream_set(docs)
+    ps_matches, _ = path_stack(pattern, streams)
+    ts_matches, _ = twig_stack(pattern, streams)
+    assert ps_matches == ts_matches

@@ -1,0 +1,114 @@
+"""Region encoding and disk stream tests."""
+
+from repro.baselines.region import (DiskStream, Element, StreamSet,
+                                    build_stream_entries)
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.xmlkit.parser import parse_document
+
+
+def make_pool(page_size=256):
+    return BufferPool(Pager.in_memory(page_size=page_size))
+
+
+class TestElement:
+    def test_containment(self):
+        outer = Element(1, 10, 1, 1, 5)
+        inner = Element(2, 5, 2, 1, 2)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_parenthood_requires_level(self):
+        outer = Element(1, 10, 1, 1, 5)
+        deep = Element(2, 5, 3, 1, 2)
+        assert outer.contains(deep)
+        assert not outer.is_parent_of(deep)
+        child = Element(2, 5, 2, 1, 2)
+        assert outer.is_parent_of(child)
+
+
+class TestBuildStreams:
+    def test_streams_sorted_by_start(self):
+        docs = [parse_document("<a><b/><b/><c><b/></c></a>", 1),
+                parse_document("<a><b/></a>", 2)]
+        streams = build_stream_entries(docs)
+        for entries in streams.values():
+            starts = [e.start for e in entries]
+            assert starts == sorted(starts)
+
+    def test_global_offsets_prevent_cross_doc_containment(self):
+        docs = [parse_document("<a><b/></a>", 1),
+                parse_document("<a><b/></a>", 2)]
+        streams = build_stream_entries(docs)
+        a_entries = streams["a"]
+        b_entries = streams["b"]
+        for a_entry in a_entries:
+            for b_entry in b_entries:
+                if a_entry.contains(b_entry):
+                    assert a_entry.doc_id == b_entry.doc_id
+
+    def test_value_nodes_get_prefixed_streams(self):
+        docs = [parse_document("<a>hello</a>", 1)]
+        streams = build_stream_entries(docs)
+        assert "\x1fhello" in streams
+
+    def test_postorder_recorded(self):
+        docs = [parse_document("<a><b/></a>", 1)]
+        streams = build_stream_entries(docs)
+        assert streams["b"][0].postorder == 1
+        assert streams["a"][0].postorder == 2
+
+
+class TestDiskStream:
+    def test_roundtrip(self):
+        pool = make_pool()
+        entries = [Element(i * 2 + 1, i * 2 + 2, 1, 1, i + 1)
+                   for i in range(50)]
+        stream = DiskStream.write(pool, entries)
+        cursor = stream.cursor()
+        read_back = []
+        while cursor.head() is not None:
+            read_back.append(cursor.head())
+            cursor.advance()
+        assert read_back == entries
+
+    def test_empty_stream(self):
+        pool = make_pool()
+        stream = DiskStream.write(pool, [])
+        assert stream.cursor().head() is None
+
+    def test_spans_pages(self):
+        pool = make_pool(page_size=256)
+        entries = [Element(i, i + 1, 1, 1, i) for i in range(1, 100)]
+        stream = DiskStream.write(pool, entries)
+        assert len(stream._page_ids) > 1
+        cursor = stream.cursor()
+        count = 0
+        while cursor.head() is not None:
+            count += 1
+            cursor.advance()
+        assert count == 99
+
+    def test_reads_counted(self):
+        pool = make_pool(page_size=256)
+        entries = [Element(i, i + 1, 1, 1, i) for i in range(1, 100)]
+        stream = DiskStream.write(pool, entries)
+        pool.flush_and_clear()
+        before = pool.stats.physical_reads
+        cursor = stream.cursor()
+        while cursor.head() is not None:
+            cursor.advance()
+        assert pool.stats.physical_reads - before == len(stream._page_ids)
+
+
+class TestStreamSet:
+    def test_unknown_tag_gives_empty_stream(self):
+        pool = make_pool()
+        streams = StreamSet.build([parse_document("<a/>", 1)], pool)
+        assert streams.stream("nope").cursor().head() is None
+
+    def test_tags_listed(self):
+        pool = make_pool()
+        streams = StreamSet.build(
+            [parse_document("<a><b/></a>", 1)], pool)
+        assert streams.tags() == ["a", "b"]

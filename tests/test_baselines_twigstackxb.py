@@ -1,0 +1,175 @@
+"""XB-tree and TwigStackXB tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_random_tree, make_random_twig
+from repro.baselines.naive import naive_matches
+from repro.baselines.region import Element, build_stream_entries
+from repro.baselines.twigstackxb import XBForest, twig_stack_xb
+from repro.baselines.xbtree import XBTree
+from repro.query.xpath import parse_xpath
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.tree import Document
+
+
+def make_pool(page_size=256):
+    return BufferPool(Pager.in_memory(page_size=page_size))
+
+
+def elements(n):
+    return [Element(2 * i + 1, 2 * i + 2, 1, 1, i + 1) for i in range(n)]
+
+
+class TestXBTree:
+    def test_single_page(self):
+        pool = make_pool()
+        tree = XBTree.build(pool, elements(5))
+        assert tree.height == 1
+        pointer = tree.pointer()
+        assert pointer.at_leaf
+        assert pointer.head().start == 1
+
+    def test_multilevel(self):
+        pool = make_pool(page_size=256)
+        tree = XBTree.build(pool, elements(100))
+        assert tree.height >= 2
+        pointer = tree.pointer()
+        assert not pointer.at_leaf
+        assert pointer.left == 1
+
+    def test_empty(self):
+        pool = make_pool()
+        tree = XBTree.build(pool, [])
+        assert tree.pointer().eof
+
+    def test_drilldown_reaches_elements(self):
+        pool = make_pool(page_size=256)
+        tree = XBTree.build(pool, elements(100))
+        pointer = tree.pointer()
+        while not pointer.at_leaf:
+            pointer.drill_down()
+        assert pointer.head().start == 1
+
+    def test_full_leaf_scan_via_drilldown(self):
+        pool = make_pool(page_size=256)
+        entries = elements(60)
+        tree = XBTree.build(pool, entries)
+        pointer = tree.pointer()
+        seen = []
+        while not pointer.eof:
+            if pointer.at_leaf:
+                seen.append(pointer.head())
+                pointer.advance()
+            else:
+                pointer.drill_down()
+        assert seen == entries
+
+    def test_coarse_advance_skips_subtrees(self):
+        pool = make_pool(page_size=256)
+        tree = XBTree.build(pool, elements(200))
+        pointer = tree.pointer()
+        assert not pointer.at_leaf
+        first_left = pointer.left
+        pointer.advance()  # skips the whole first child page region
+        assert pointer.eof or pointer.left > first_left
+
+    def test_internal_ranges_cover_children(self):
+        pool = make_pool(page_size=256)
+        entries = elements(150)
+        tree = XBTree.build(pool, entries)
+        is_leaf, root_entries = tree._read(tree.root_page)
+        if not is_leaf:
+            for left, right, child in root_entries:
+                child_leaf, child_entries = tree._read(child)
+                starts = [e.start if child_leaf else e[0]
+                          for e in child_entries]
+                ends = [e.end if child_leaf else e[1]
+                        for e in child_entries]
+                assert left == min(starts)
+                assert right == max(ends)
+
+
+class TestTwigStackXB:
+    def test_matches_twigstack_results(self):
+        docs = [parse_document("<a><b><c/></b><c/></a>", 1),
+                parse_document("<a><b/></a>", 2)]
+        pool = make_pool()
+        forest = XBForest.build(build_stream_entries(docs), pool)
+        matches, _ = twig_stack_xb(parse_xpath("//a[./b]//c"), forest)
+        truth = {(d.doc_id, emb) for d in docs
+                 for emb in naive_matches(d, parse_xpath("//a[./b]//c"),
+                                          semantics="xpath")}
+        assert matches == truth
+
+    def test_skipping_happens_on_scattered_needles(self):
+        """Needle-in-haystack: the abundant child stream (url) is
+        advanced at coarse level while the rare parent's (www) stack is
+        empty, so whole leaf-page regions are never read."""
+        parts = []
+        for i in range(300):
+            if i % 150 == 1:
+                parts.append("<www><url/></www>")
+            else:
+                parts.append("<article><url/></article>")
+        text = "<dblp>" + "".join(parts) + "</dblp>"
+        docs = [parse_document(text, 1)]
+        pool = make_pool(page_size=512)
+        forest = XBForest.build(build_stream_entries(docs), pool)
+        matches, stats = twig_stack_xb(parse_xpath("//www/url"), forest)
+        assert len(matches) == 2
+        assert stats.coarse_advances > 0
+        # Far fewer concrete url elements touched than exist (300).
+        assert stats.elements_scanned < 150
+
+    def test_page_reads_below_twigstack(self):
+        """The XB skip must translate into fewer physical page reads
+        than a full TwigStack scan on the same workload."""
+        from repro.baselines.region import StreamSet
+        from repro.baselines.twigstack import twig_stack
+        parts = []
+        for i in range(400):
+            if i == 100:
+                parts.append("<www><editor/><url/></www>")
+            else:
+                parts.append("<article><author>x</author>"
+                             "<title>t</title></article>")
+        text = "<dblp>" + "".join(parts) + "</dblp>"
+        docs = [parse_document(text, 1)]
+        pattern = parse_xpath("//article/author")
+
+        ts_pool = make_pool(page_size=512)
+        streams = StreamSet.build(docs, ts_pool)
+        ts_pool.flush_and_clear()
+        ts_before = ts_pool.stats.physical_reads
+        ts_matches, _ = twig_stack(pattern, streams)
+        ts_pages = ts_pool.stats.physical_reads - ts_before
+
+        xb_pool = make_pool(page_size=512)
+        forest = XBForest.build(build_stream_entries(docs), xb_pool)
+        xb_pool.flush_and_clear()
+        xb_before = xb_pool.stats.physical_reads
+        xb_matches, _ = twig_stack_xb(pattern, forest)
+        xb_pages = xb_pool.stats.physical_reads - xb_before
+
+        assert xb_matches == ts_matches
+        assert xb_pages <= ts_pages * 1.5  # XB never catastrophically worse
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31))
+def test_twigstackxb_matches_xpath_oracle(seed):
+    rng = random.Random(seed)
+    docs = [Document(make_random_tree(rng, max_nodes=15), doc_id=i + 1)
+            for i in range(3)]
+    pattern = make_random_twig(rng, star_p=0.0, absolute_p=0.0)
+    pool = make_pool(page_size=256)  # small pages force real XB levels
+    forest = XBForest.build(build_stream_entries(docs), pool)
+    got, _ = twig_stack_xb(pattern, forest)
+    truth = {(d.doc_id, emb) for d in docs
+             for emb in naive_matches(d, pattern, semantics="xpath")}
+    assert got == truth

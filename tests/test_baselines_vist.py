@@ -1,0 +1,144 @@
+"""ViST baseline tests: sequences, matching, false alarms, space."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_random_tree, make_random_twig
+from repro.baselines.naive import naive_matches
+from repro.baselines.vist import (VistIndex, structure_encoded_sequence,
+                                  total_sequence_text)
+from repro.datasets import figure1_documents, figure1_query
+from repro.query.xpath import parse_xpath
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.tree import Document, element
+
+
+def build_index(docs):
+    pool = BufferPool(Pager.in_memory())
+    return VistIndex.build(docs, pool), pool
+
+
+class TestStructureEncodedSequence:
+    def test_preorder_symbols(self):
+        doc = parse_document("<a><b><c/></b><d/></a>", 1)
+        seq = structure_encoded_sequence(doc)
+        assert [symbol for symbol, _ in seq] == ["a", "b", "c", "d"]
+
+    def test_prefixes_are_root_paths(self):
+        doc = parse_document("<a><b><c/></b></a>", 1)
+        seq = dict(structure_encoded_sequence(doc))
+        assert seq["a"] == ""
+        assert seq["b"] == "a\x1e"
+        assert seq["c"] == "a\x1eb\x1e"
+
+    def test_values_in_sequence(self):
+        doc = parse_document("<a>x</a>", 1)
+        seq = structure_encoded_sequence(doc)
+        assert seq[1][0] == "\x1fx"
+
+    def test_quadratic_text_on_unary_tree(self):
+        """Section 2's worst case: the structure-encoded sequence of a
+        unary (skinny) tree is O(n^2) characters."""
+        def unary(n):
+            root = element("t")
+            node = root
+            for _ in range(n - 1):
+                node = node.append(element("t"))
+            return Document(root, 1)
+
+        small = total_sequence_text(unary(20))
+        large = total_sequence_text(unary(40))
+        # Doubling n should far more than double the text (quadratic).
+        assert large > 3.5 * small
+
+
+class TestQueries:
+    def test_exact_path(self):
+        docs = [parse_document("<a><b><c/></b></a>", 1),
+                parse_document("<a><c/></a>", 2)]
+        index, _ = build_index(docs)
+        found, _ = index.query(parse_xpath("/a/b/c"))
+        assert found == {1}
+
+    def test_descendant_step_scans_symbol_keys(self):
+        docs = [parse_document("<a><x><b/></x></a>", 1)]
+        index, _ = build_index(docs)
+        found, stats = index.query(parse_xpath("//a//b"))
+        assert found == {1}
+        assert stats.keys_scanned > 0
+
+    def test_value_query(self):
+        docs = [parse_document("<a><b>x</b></a>", 1),
+                parse_document("<a><b>y</b></a>", 2)]
+        index, _ = build_index(docs)
+        found, _ = index.query(parse_xpath('//b[text()="x"]'))
+        assert found == {1}
+
+    def test_star_rejected(self):
+        docs = [parse_document("<a/>", 1)]
+        index, _ = build_index(docs)
+        with pytest.raises(NotImplementedError):
+            index.query(parse_xpath("//a/*"))
+
+    def test_ordered_flag(self):
+        docs = [parse_document("<a><c/><b/></a>", 1)]
+        index, _ = build_index(docs)
+        unordered, _ = index.query(parse_xpath("//a[./b]/c"))
+        ordered, _ = index.query(parse_xpath("//a[./b]/c"), ordered=True)
+        assert unordered == {1}
+        assert ordered == set()
+
+
+class TestFalseAlarms:
+    def test_figure1b_false_alarm(self):
+        """The paper's Figure 1(b): ViST reports Doc2, a false alarm."""
+        doc1, doc2 = figure1_documents()
+        index, _ = build_index([doc1, doc2])
+        query = figure1_query()
+        found, _ = index.query(query)
+        truth = {d.doc_id for d in (doc1, doc2)
+                 if naive_matches(d, query, semantics="xpath")}
+        assert truth == {1}
+        assert found == {1, 2}  # Doc2 is the false alarm
+
+    def test_never_false_dismissals(self):
+        """ViST may over-report but must not miss documents.
+
+        Like PRIX, ViST's sequence matching assigns distinct sequence
+        positions to distinct branches, so the reference semantics is the
+        injective LCA-preserving one, not plain XPath (ViST famously
+        cannot represent matches that reuse one data node for two query
+        branches -- the same restriction PRIX's positions impose).
+        """
+        rng = random.Random(77)
+        for _ in range(30):
+            docs = [Document(make_random_tree(rng, max_nodes=12),
+                             doc_id=i + 1) for i in range(3)]
+            index, _ = build_index(docs)
+            pattern = make_random_twig(rng, star_p=0.0)
+            truth = {d.doc_id for d in docs
+                     if naive_matches(d, pattern, semantics="prix")}
+            found, _ = index.query(pattern)
+            assert found >= truth, pattern.nodes()
+
+
+class TestWorkCounters:
+    def test_wildcard_explodes_key_matches(self):
+        """Deep recursive tags make ViST match many (symbol, prefix)
+        keys -- the Q7/Q8 effect of Section 6.4.1."""
+        root = element("S")
+        node = root
+        for _ in range(12):
+            node = node.append(element("S"))
+        node.append(element("X"))
+        docs = [Document(root, 1)]
+        index, _ = build_index(docs)
+        found, stats = index.query(parse_xpath("//S//X"))
+        assert found == {1}
+        # Every S depth contributes a distinct (S, prefix) key.
+        assert stats.matching_keys >= 13

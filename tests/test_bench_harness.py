@@ -1,0 +1,70 @@
+"""Benchmark harness and reporting smoke tests."""
+
+import pytest
+
+from repro.bench.harness import BenchEnvironment, SystemResult
+from repro.bench.reporting import format_table, ratio
+from repro.bench.workloads import QUERIES, query_by_id, queries_for
+
+
+@pytest.fixture(scope="module")
+def tiny_env():
+    return BenchEnvironment("dblp", scale="tiny")
+
+
+class TestWorkloads:
+    def test_nine_queries(self):
+        assert len(QUERIES) == 9
+        assert [s.qid for s in QUERIES] == [f"Q{i}" for i in range(1, 10)]
+
+    def test_query_by_id(self):
+        assert query_by_id("Q7").corpus == "treebank"
+        with pytest.raises(KeyError):
+            query_by_id("Q99")
+
+    def test_value_flags(self):
+        assert query_by_id("Q1").has_values
+        assert not query_by_id("Q2").has_values
+
+
+class TestEnvironment:
+    def test_all_four_systems_run(self, tiny_env):
+        results = [tiny_env.run_prix("Q1"),
+                   tiny_env.run_twigstack("Q1"),
+                   tiny_env.run_twigstack_xb("Q1"),
+                   tiny_env.run_vist("Q1")]
+        systems = [r.system for r in results]
+        assert systems == ["PRIX", "TwigStack", "TwigStackXB", "ViST"]
+        prix, ts, xb, _ = results
+        assert prix.matches == ts.matches == xb.matches == 6
+        for result in results:
+            assert result.elapsed > 0
+            assert result.pages >= 0
+
+    def test_prix_variant_override(self, tiny_env):
+        forced = tiny_env.run_prix("Q1", variant="rp")
+        assert forced.extra["variant"] == "rp"
+
+    def test_maxgap_toggle(self, tiny_env):
+        off = tiny_env.run_prix("Q1", use_maxgap=False)
+        on = tiny_env.run_prix("Q1")
+        assert on.matches == off.matches
+
+    def test_measurements_are_cold(self, tiny_env):
+        first = tiny_env.run_prix("Q1")
+        second = tiny_env.run_prix("Q1")
+        # Cold runs hit disk every time.
+        assert second.pages == first.pages > 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["col", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2]
+        assert len({len(line) for line in lines[3:]}) >= 1
+
+    def test_ratio(self):
+        assert ratio(10, 5) == "2.0x"
+        assert ratio(3, 0) == "inf"

@@ -1,0 +1,151 @@
+"""CLI tests (build / query / stats round trips)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def xml_files(tmp_path):
+    paths = []
+    texts = [
+        "<lib><book><author>Knuth</author><title>TAOCP</title></book></lib>",
+        "<lib><book><author>Aho</author><title>Dragon</title></book>"
+        "<journal><title>TODS</title></journal></lib>",
+    ]
+    for index, text in enumerate(texts):
+        path = tmp_path / f"doc{index}.xml"
+        path.write_text(text, encoding="utf-8")
+        paths.append(str(path))
+    return paths
+
+
+@pytest.fixture()
+def built_index(tmp_path, xml_files, capsys):
+    index_path = str(tmp_path / "cli.idx")
+    assert main(["build", index_path] + xml_files) == 0
+    capsys.readouterr()
+    return index_path
+
+
+class TestBuild:
+    def test_build_from_files(self, tmp_path, xml_files, capsys):
+        index_path = str(tmp_path / "out.idx")
+        assert main(["build", index_path] + xml_files) == 0
+        out = capsys.readouterr().out
+        assert "parsed 2 document(s)" in out
+        assert "index written" in out
+
+    def test_build_from_corpus(self, tmp_path, capsys):
+        index_path = str(tmp_path / "corpus.idx")
+        assert main(["build", index_path, "--corpus", "dblp",
+                     "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "120 documents" in out
+
+    def test_build_without_input_fails(self, tmp_path, capsys):
+        assert main(["build", str(tmp_path / "x.idx")]) == 2
+
+    def test_build_bad_xml_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b></a>", encoding="utf-8")
+        assert main(["build", str(tmp_path / "x.idx"), str(bad)]) == 1
+
+
+class TestQuery:
+    def test_query_finds_matches(self, built_index, capsys):
+        assert main(["query", built_index,
+                     '//book[./author="Knuth"]/title']) == 0
+        out = capsys.readouterr().out
+        assert "1 match(es) in 1 document(s)" in out
+
+    def test_query_explain(self, built_index, capsys):
+        assert main(["query", built_index, "//book/title",
+                     "--explain", "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "variant=" in out
+        assert "pages read" in out
+
+    def test_query_variant_and_flags(self, built_index, capsys):
+        assert main(["query", built_index, "//book/title",
+                     "--variant", "rp", "--no-maxgap", "--ordered"]) == 0
+
+    def test_query_limit(self, built_index, capsys):
+        assert main(["query", built_index, "//lib//title",
+                     "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more)" in out
+
+    def test_query_bad_xpath(self, built_index, capsys):
+        assert main(["query", built_index, "//a[["]) == 1
+
+    def test_query_missing_index(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "no.idx"), "//a/b"]) == 1
+
+
+class TestStats:
+    def test_stats_output(self, built_index, capsys):
+        assert main(["stats", built_index]) == 0
+        out = capsys.readouterr().out
+        assert "documents: 2" in out
+        assert "RPIndex" in out and "EPIndex" in out
+        assert "trie nodes" in out
+
+
+class TestExplainAndSplit:
+    def test_explain_command(self, built_index, capsys):
+        assert main(["explain", built_index, "//book/title"]) == 0
+        out = capsys.readouterr().out
+        assert "variant:" in out and "strategy:" in out
+
+    def test_build_with_split(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.xml"
+        corpus.write_text("<dblp><article><t>A</t></article>"
+                          "<article><t>B</t></article></dblp>",
+                          encoding="utf-8")
+        index_path = str(tmp_path / "split.idx")
+        assert main(["build", index_path, str(corpus), "--split"]) == 0
+        out = capsys.readouterr().out
+        assert "parsed 2 document(s)" in out
+        assert main(["stats", index_path]) == 0
+        assert "documents: 2" in capsys.readouterr().out
+
+
+class TestInsertDelete:
+    def test_insert_into_dynamic_index(self, tmp_path, capsys):
+        index_path = str(tmp_path / "dyn.idx")
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<a><b/></a>", encoding="utf-8")
+        assert main(["build", index_path, str(doc),
+                     "--labeler", "dynamic"]) == 0
+        new_doc = tmp_path / "new.xml"
+        new_doc.write_text("<a><b/><c/></a>", encoding="utf-8")
+        assert main(["insert", index_path, str(new_doc)]) == 0
+        out = capsys.readouterr().out
+        assert "index now holds 2 documents" in out
+        assert main(["query", index_path, "//a/c"]) == 0
+        assert "1 match(es)" in capsys.readouterr().out
+
+    def test_insert_into_bulk_index_advises_rebuild(self, tmp_path,
+                                                    capsys):
+        index_path = str(tmp_path / "bulk.idx")
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<a><b/></a>", encoding="utf-8")
+        assert main(["build", index_path, str(doc)]) == 0
+        new_doc = tmp_path / "new.xml"
+        new_doc.write_text("<x><y/></x>", encoding="utf-8")
+        assert main(["insert", index_path, str(new_doc)]) == 1
+        assert "--labeler dynamic" in capsys.readouterr().err
+
+    def test_delete(self, tmp_path, capsys):
+        index_path = str(tmp_path / "del.idx")
+        docs = []
+        for i in range(2):
+            path = tmp_path / f"d{i}.xml"
+            path.write_text(f"<a><b id=\"{i}\"/></a>", encoding="utf-8")
+            docs.append(str(path))
+        assert main(["build", index_path] + docs) == 0
+        assert main(["delete", index_path, "1"]) == 0
+        out = capsys.readouterr().out
+        assert "index now holds 1 documents" in out
+        assert main(["delete", index_path, "99"]) == 1

@@ -1,0 +1,181 @@
+"""Synthetic corpus tests: determinism, structure signatures, needles."""
+
+import pytest
+
+from repro.datasets import (corpus_stats, dblp, get_corpus, list_corpora,
+                            swissprot, treebank)
+from repro.datasets.dblp import NEEDLE_AUTHOR, NEEDLE_TITLE, NEEDLE_YEAR
+from repro.datasets.swissprot import (NEEDLE_AUTHOR_A, NEEDLE_AUTHOR_B,
+                                      NEEDLE_KEYWORD, NEEDLE_ORG)
+from repro.xmlkit.serializer import serialize
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("generator", [dblp, swissprot, treebank])
+    def test_same_seed_same_corpus(self, generator):
+        first = generator(30)
+        second = generator(30)
+        assert len(first) == len(second)
+        for doc_a, doc_b in zip(first.documents, second.documents):
+            assert serialize(doc_a) == serialize(doc_b)
+
+    def test_different_seed_differs(self):
+        assert serialize(dblp(30, seed=1).documents[5]) != \
+            serialize(dblp(30, seed=2).documents[5])
+
+
+class TestDBLP:
+    def test_q1_needles_planted_exactly(self):
+        corpus = dblp(200, q1_matches=6)
+        hits = 0
+        for doc in corpus.documents:
+            has_author = any(
+                n.is_value and n.tag == NEEDLE_AUTHOR and
+                n.parent.tag == "author"
+                for n in doc.nodes_in_postorder())
+            has_year = any(
+                n.is_value and n.tag == NEEDLE_YEAR and
+                n.parent.tag == "year"
+                for n in doc.nodes_in_postorder())
+            if has_author and has_year and doc.root.tag == "inproceedings":
+                hits += 1
+        assert hits == 6
+
+    def test_q3_title_planted_exactly(self):
+        corpus = dblp(200, q3_matches=1)
+        hits = sum(1 for doc in corpus.documents
+                   for n in doc.nodes_in_postorder()
+                   if n.is_value and n.tag == NEEDLE_TITLE)
+        assert hits == 1
+
+    def test_www_records_scattered(self):
+        corpus = dblp(500, www_fraction=0.02)
+        positions = [i for i, doc in enumerate(corpus.documents)
+                     if doc.root.tag == "www"]
+        assert len(positions) == 10
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert min(gaps) > 10  # spread out, not clumped
+
+    def test_shallow_depth(self):
+        stats = corpus_stats(dblp(100))
+        assert stats.max_depth <= 4
+
+    def test_records_structurally_similar(self):
+        """Most records share a small set of shapes (trie sharing)."""
+        from repro.prufer.sequence import regular_sequence
+        corpus = dblp(300)
+        shapes = {regular_sequence(doc).lps for doc in corpus.documents}
+        assert len(shapes) < len(corpus.documents) / 4
+
+
+class TestSwissprot:
+    def test_q4_keyword_planted(self):
+        corpus = swissprot(100, q4_matches=3)
+        hits = sum(1 for doc in corpus.documents
+                   for n in doc.nodes_in_postorder()
+                   if n.is_value and n.tag == NEEDLE_KEYWORD)
+        assert hits == 3
+
+    def test_q5_coauthors_planted(self):
+        corpus = swissprot(100, q5_matches=5)
+        hits = 0
+        for doc in corpus.documents:
+            for node in doc.nodes_in_postorder():
+                if node.tag != "Ref":
+                    continue
+                authors = {child.children[0].tag
+                           for child in node.children
+                           if child.tag == "Author" and child.children}
+                if NEEDLE_AUTHOR_A in authors and NEEDLE_AUTHOR_B in authors:
+                    hits += 1
+        assert hits == 5
+
+    def test_piroplasmida_scattered_with_near_misses(self):
+        corpus = swissprot(200, piroplasmida_entries=8,
+                           piroplasmida_full=2)
+        full = 0
+        near = 0
+        for doc in corpus.documents:
+            has_org = any(n.is_value and n.tag == NEEDLE_ORG
+                          for n in doc.nodes_in_postorder())
+            if not has_org:
+                continue
+            has_author = doc.root.find("Author") is not None
+            if has_author:
+                full += 1
+            else:
+                near += 1
+        assert full == 2
+        assert near == 6
+
+    def test_bushy_and_shallow(self):
+        stats = corpus_stats(swissprot(50))
+        assert stats.max_depth <= 5
+        # Heavy attribute use, as in the paper's snapshot.
+        assert stats.n_attributes > 0.2 * stats.n_elements
+
+
+class TestTreebank:
+    def test_deep_recursion(self):
+        corpus = treebank(200)
+        stats = corpus_stats(corpus)
+        assert stats.max_depth >= 10
+        assert stats.n_attributes == 0
+
+    def test_recursive_tags_at_multiple_levels(self):
+        corpus = treebank(100)
+        np_levels = {n.level for doc in corpus.documents
+                     for n in doc.nodes_in_postorder() if n.tag == "NP"}
+        assert len(np_levels) >= 4
+
+    def test_template_sharing(self):
+        from repro.prufer.sequence import regular_sequence
+        corpus = treebank(300, n_templates=20)
+        shapes = {regular_sequence(doc).lps for doc in corpus.documents}
+        # Far fewer distinct sequences than documents.
+        assert len(shapes) < 120
+
+    def test_values_are_opaque_tokens(self):
+        corpus = treebank(20)
+        for doc in corpus.documents:
+            for node in doc.nodes_in_postorder():
+                if node.is_value:
+                    assert node.tag.startswith("VAL")
+
+
+class TestRegistry:
+    def test_list_corpora(self):
+        assert list_corpora() == ["dblp", "swissprot", "treebank"]
+
+    def test_named_scales(self):
+        corpus = get_corpus("dblp", "tiny")
+        assert len(corpus) == 120
+
+    def test_integer_scale(self):
+        assert len(get_corpus("treebank", 33)) == 33
+
+    def test_unknown_corpus(self):
+        with pytest.raises(KeyError):
+            get_corpus("nope")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_corpus("dblp", "galactic")
+
+
+class TestTable2Stats:
+    def test_stats_fields(self):
+        stats = corpus_stats(dblp(50))
+        assert stats.name == "dblp"
+        assert stats.n_sequences == 50
+        assert stats.size_bytes > 0
+        assert stats.size_mbytes == stats.size_bytes / (1024 * 1024)
+
+    def test_characteristic_ordering(self):
+        """The Table 2 signature: TREEBANK much deeper than the others;
+        one sequence per document everywhere."""
+        dblp_stats = corpus_stats(dblp(100))
+        swiss_stats = corpus_stats(swissprot(40))
+        tree_stats = corpus_stats(treebank(60))
+        assert tree_stats.max_depth > 2 * dblp_stats.max_depth
+        assert tree_stats.max_depth > 2 * swiss_stats.max_depth

@@ -1,0 +1,35 @@
+"""Every example script must run to completion (guards against rot)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "examples")
+
+#: (script, extra argv) -- small sizes keep the suite fast.
+SCRIPTS = [
+    ("quickstart.py", []),
+    ("paper_walkthrough.py", []),
+    ("incremental_updates.py", []),
+    ("bibliography_search.py", ["200"]),
+    ("protein_twigs.py", ["60"]),
+    ("treebank_wildcards.py", ["80"]),
+]
+
+
+@pytest.mark.parametrize("script,argv",
+                         SCRIPTS, ids=[s for s, _ in SCRIPTS])
+def test_example_runs(script, argv):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)] + argv,
+        capture_output=True, text=True, timeout=300, env=env)
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,113 @@
+"""Filtering (Algorithm 1) tests over a real index."""
+
+from repro.datasets import figure2_query
+from repro.prix.filtering import FilterStats, find_subsequences
+from repro.prix.index import PrixIndex, VARIANT_REGULAR
+from repro.prix.plan import build_plan
+from repro.query.twig import collapse
+from repro.query.xpath import parse_xpath
+
+
+def run_filter(index, xpath_or_pattern, use_maxgap=True, extended=False):
+    pattern = (parse_xpath(xpath_or_pattern)
+               if isinstance(xpath_or_pattern, str) else xpath_or_pattern)
+    plan = build_plan(collapse(pattern), extended=extended)
+    variant = index._variants["ep" if extended else "rp"]
+    stats = FilterStats()
+    maxgap = variant.maxgap if use_maxgap else None
+    return find_subsequences(plan, variant.symbol_index,
+                             variant.docid_index, variant.root_range,
+                             maxgap_table=maxgap, stats=stats)
+
+
+class TestSubsequenceMatching:
+    def test_paper_query_found(self, fig2_doc):
+        index = PrixIndex.build([fig2_doc])
+        candidates, stats = run_filter(index, figure2_query())
+        positions = {pos for _, pos in candidates}
+        # Example 2/6: LPS(Q)=B A E D A matches at (3, 7, 11, 13, 14)
+        # among possibly other subsequences (e.g. via position 6's B or
+        # position 9's A).
+        assert (3, 7, 11, 13, 14) in positions
+        for docs, _ in candidates:
+            assert docs == (1,)
+
+    def test_positions_strictly_increasing(self, fig2_doc):
+        index = PrixIndex.build([fig2_doc])
+        candidates, _ = run_filter(index, figure2_query())
+        for _, positions in candidates:
+            assert all(a < b for a, b in zip(positions, positions[1:]))
+
+    def test_no_match_for_absent_label(self, fig2_doc):
+        index = PrixIndex.build([fig2_doc])
+        candidates, _ = run_filter(index, "//ZZZ/A")
+        assert candidates == []
+
+    def test_multiple_documents_share_terminal(self, fig2_doc):
+        from repro.xmlkit.tree import copy_tree, Document
+        twin = Document(copy_tree(fig2_doc.root), doc_id=2)
+        index = PrixIndex.build([fig2_doc, twin])
+        candidates, _ = run_filter(index, figure2_query())
+        docs = {doc for doc_tuple, _ in candidates for doc in doc_tuple}
+        assert docs == {1, 2}
+
+    def test_stats_counted(self, fig2_doc):
+        index = PrixIndex.build([fig2_doc])
+        _, stats = run_filter(index, figure2_query())
+        assert stats.range_queries > 0
+        assert stats.nodes_visited >= stats.candidates
+
+
+class TestMaxGapPruning:
+    def test_no_false_dismissals(self, tiny_dblp):
+        """Theorem 4: pruning never changes the final answer."""
+        index = PrixIndex.build(tiny_dblp.documents)
+        for xpath in ('//inproceedings[./author="Jim Gray"][./year="1990"]',
+                      "//www[./editor]/url",
+                      "//inproceedings/author"):
+            pattern = parse_xpath(xpath)
+            with_pruning = index.query(pattern, use_maxgap=True)
+            without = index.query(pattern, use_maxgap=False)
+            assert {m.canonical for m in with_pruning} == \
+                {m.canonical for m in without}
+
+    def test_pruning_reduces_work(self, tiny_treebank):
+        index = PrixIndex.build(tiny_treebank.documents)
+        pattern = parse_xpath("//NP/PP/NP[./NNS_OR_NN][./NN]")
+        _, pruned_stats = index.query_with_stats(pattern, use_maxgap=True)
+        _, full_stats = index.query_with_stats(pattern, use_maxgap=False)
+        assert pruned_stats.filter.nodes_visited <= \
+            full_stats.filter.nodes_visited
+        assert pruned_stats.filter.pruned_by_maxgap > 0
+
+    def test_paper_example_cb_pruning(self):
+        """Section 5.4's CB example: MaxGap discards distant CB pairs."""
+        from repro.xmlkit.tree import Document, element
+        # Tree P of Figure 5: C with two children early, B parent.
+        # Build a tree where label C's children span at most 1 and two
+        # C-occurrences sit far apart in the LPS.
+        root = element("A")
+        b = element("B")
+        c1 = element("C")
+        c1.append(element("X"))
+        c1.append(element("Y"))
+        b.append(c1)
+        filler = element("F")
+        node = filler
+        for _ in range(6):
+            node = node.append(element("F"))
+        b.append(filler)
+        c2 = element("C")
+        c2.append(element("Z"))
+        b.append(c2)
+        root.append(b)
+        index = PrixIndex.build([Document(root, doc_id=1)])
+        candidates_pruned, stats_pruned = run_filter(index, "//B/C/X")
+        candidates_full, stats_full = run_filter(index, "//B/C/X",
+                                                 use_maxgap=False)
+        final_pruned = {pos for _, pos in candidates_pruned}
+        final_full = {pos for _, pos in candidates_full}
+        # Same true candidates survive...
+        assert final_pruned <= final_full
+        # ...but pruning inspected no more nodes.
+        assert stats_pruned.nodes_visited <= stats_full.nodes_visited

@@ -1,0 +1,121 @@
+"""Unit tests for PRIX engine internals with thin coverage elsewhere:
+the Trie-Symbol / Docid index wrappers, the allocation tree, and the
+DocView's extended-to-original numbering."""
+
+import pytest
+
+from repro.prix.filtering import DocidIndex, TrieSymbolIndex
+from repro.prix.incremental import AllocationTree
+from repro.prix.refinement import DocView
+from repro.prufer.sequence import extended_sequence
+from repro.storage.bptree import BPlusTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from repro.trie.labeling import BulkDFSLabeler
+from repro.trie.trie import SequenceTrie
+from repro.xmlkit.parser import parse_document
+
+
+def make_pool():
+    return BufferPool(Pager.in_memory(page_size=512))
+
+
+class TestTrieSymbolIndex:
+    @pytest.fixture()
+    def index(self):
+        pool = make_pool()
+        entries = sorted([
+            TrieSymbolIndex.make_entry("a", 10, 20, 1, 3),
+            TrieSymbolIndex.make_entry("a", 12, 15, 2, 0),
+            TrieSymbolIndex.make_entry("a", 30, 40, 1, 7),
+            TrieSymbolIndex.make_entry("b", 11, 14, 2, 1),
+        ], key=lambda pair: pair[0])
+        return TrieSymbolIndex(BPlusTree.bulk_load(pool, entries))
+
+    def test_range_query_scopes(self, index):
+        inside = list(index.range_query_full("a", 10, 20))
+        assert [(left, right) for left, right, _ in inside] == [(12, 15)]
+
+    def test_open_interval_excludes_bounds(self, index):
+        hits = list(index.range_query_full("a", 9, 30))
+        lefts = [left for left, _, _ in hits]
+        assert lefts == [10, 12]  # 30 itself excluded
+
+    def test_gaps_returned(self, index):
+        hits = {left: gap for left, _, _, gap
+                in index.range_query_gaps("a", 0, 100)}
+        assert hits == {10: 3, 12: 0, 30: 7}
+
+    def test_label_isolation(self, index):
+        assert list(index.range_query_full("b", 10, 20)) == [(11, 14, 2)]
+        assert list(index.range_query_full("zzz", 0, 100)) == []
+
+
+class TestDocidIndex:
+    def test_closed_interval(self):
+        pool = make_pool()
+        entries = sorted([DocidIndex.make_entry(left, doc)
+                          for left, doc in [(5, 1), (7, 2), (9, 3)]],
+                         key=lambda pair: pair[0])
+        index = DocidIndex(BPlusTree.bulk_load(pool, entries))
+        assert sorted(index.documents_in(5, 9)) == [1, 2, 3]
+        assert index.documents_in(6, 8) == [2]
+        assert index.documents_in(10, 99) == []
+
+    def test_duplicate_terminals(self):
+        pool = make_pool()
+        entries = [DocidIndex.make_entry(5, 1), DocidIndex.make_entry(5, 2)]
+        index = DocidIndex(BPlusTree.bulk_load(pool, entries))
+        assert sorted(index.documents_in(5, 5)) == [1, 2]
+
+
+class TestAllocationTree:
+    def test_set_get_roundtrip(self):
+        pool = make_pool()
+        alloc = AllocationTree(BPlusTree.create(pool))
+        alloc.set(10, 15)
+        assert alloc.get(10) == 15
+        alloc.set(10, 99)   # overwrite
+        assert alloc.get(10) == 99
+        assert alloc.get(11) is None
+
+    def test_seed_entries_from_trie(self):
+        trie = SequenceTrie()
+        trie.insert(("a", "b"), 1)
+        trie.insert(("a", "c"), 2)
+        BulkDFSLabeler().label(trie)
+        pool = make_pool()
+        alloc = AllocationTree(BPlusTree.bulk_load(
+            pool, AllocationTree.seed_entries(trie)))
+        a_node = trie.root.children["a"]
+        # 'a' has two children: next free id sits past the last child.
+        last_child_right = max(child.right
+                               for child in a_node.children.values())
+        assert alloc.get(a_node.left) == last_child_right
+        # Leaves point just past their own left.
+        b_node = a_node.children["b"]
+        assert alloc.get(b_node.left) == b_node.left + 1
+
+
+class TestDocViewNumbering:
+    def test_extended_to_original_mapping(self):
+        document = parse_document("<a><b>x</b><c/></a>", 1)
+        seq = extended_sequence(document)
+        nps = [0] * (seq.n_nodes + 1)
+        labels = [None] * (seq.n_nodes + 1)
+        for child, parent in enumerate(seq.nps, start=1):
+            nps[child] = parent
+            labels[parent] = seq.lps[child - 1]
+        for label, number in seq.leaves:
+            labels[number] = label
+        view = DocView(1, nps, labels, extended=True)
+        originals = [view.original_number(i)
+                     for i in range(1, seq.n_nodes + 1)]
+        # Dummies map to 0; original nodes map to 1..n in order.
+        non_zero = [n for n in originals if n]
+        assert non_zero == list(range(1, document.size + 1))
+        assert originals.count(0) == len(seq.leaves)
+
+    def test_regular_view_identity(self):
+        view = DocView(1, [0, 2, 0], ["?", "x", "a"], extended=False)
+        assert view.original_number(2) == 2

@@ -1,0 +1,121 @@
+"""Index persistence tests: save to a file, reopen, query identically."""
+
+import pytest
+
+from repro.baselines.naive import naive_matches
+from repro.datasets import dblp
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.query.xpath import parse_xpath
+
+QUERIES = ['//inproceedings[./author="Jim Gray"][./year="1990"]',
+           "//www[./editor]/url",
+           "//inproceedings/author",
+           '//title[text()="Semantic Analysis Patterns"]']
+
+
+@pytest.fixture()
+def saved_index_path(tmp_path):
+    corpus = dblp(120)
+    path = str(tmp_path / "prix.idx")
+    index = PrixIndex.build(corpus.documents, IndexOptions(path=path))
+    expected = {}
+    for xpath in QUERIES:
+        expected[xpath] = {(m.doc_id, m.canonical)
+                           for m in index.query(xpath)}
+    index.save()
+    index.close()
+    return path, expected
+
+
+class TestSaveAndOpen:
+    def test_reopened_index_answers_identically(self, saved_index_path):
+        path, expected = saved_index_path
+        reopened = PrixIndex.open(path)
+        for xpath, want in expected.items():
+            got = {(m.doc_id, m.canonical)
+                   for m in reopened.query(xpath)}
+            assert got == want, xpath
+        reopened.close()
+
+    def test_reopened_matches_oracle(self, saved_index_path, tmp_path):
+        path, _ = saved_index_path
+        reopened = PrixIndex.open(path)
+        corpus = dblp(120)  # deterministic: same corpus
+        pattern = parse_xpath("//article[./volume]/year")
+        got = {(m.doc_id, m.canonical) for m in reopened.query(pattern)}
+        want = {(d.doc_id, emb) for d in corpus.documents
+                for emb in naive_matches(d, pattern)}
+        assert got == want
+        reopened.close()
+
+    def test_metadata_survives(self, saved_index_path):
+        path, _ = saved_index_path
+        reopened = PrixIndex.open(path)
+        assert reopened.doc_count == 120
+        assert set(reopened.variants()) == {"rp", "ep"}
+        stats = reopened.trie_stats("rp")
+        assert stats.sequence_count == 120
+        assert stats.node_count > 0
+        assert reopened.maxgap_table("rp").get("inproceedings") > 0
+        reopened.close()
+
+    def test_strategies_work_after_reopen(self, saved_index_path):
+        path, expected = saved_index_path
+        reopened = PrixIndex.open(path)
+        xpath = QUERIES[0]
+        for strategy in ("trie", "document"):
+            got = {(m.doc_id, m.canonical)
+                   for m in reopened.query(xpath, strategy=strategy)}
+            assert got == expected[xpath], strategy
+        reopened.close()
+
+    def test_cold_io_accounting_after_reopen(self, saved_index_path):
+        path, _ = saved_index_path
+        reopened = PrixIndex.open(path)
+        _, stats = reopened.query_with_stats(QUERIES[0], cold=True)
+        assert stats.physical_reads > 0
+        reopened.close()
+
+    def test_non_default_page_size_roundtrip(self, tmp_path):
+        corpus = dblp(40)
+        path = str(tmp_path / "small_pages.idx")
+        index = PrixIndex.build(corpus.documents,
+                                IndexOptions(path=path, page_size=1024))
+        want = {(m.doc_id, m.canonical)
+                for m in index.query("//www[./editor]/url")}
+        index.save()
+        index.close()
+        reopened = PrixIndex.open(path)
+        got = {(m.doc_id, m.canonical)
+               for m in reopened.query("//www[./editor]/url")}
+        assert got == want
+        reopened.close()
+
+
+class TestOpenValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            PrixIndex.open(str(tmp_path / "nope.idx"))
+
+    def test_not_an_index(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError):
+            PrixIndex.open(str(path))
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "short.bin"
+        path.write_bytes(b"ab")
+        with pytest.raises(ValueError):
+            PrixIndex.open(str(path))
+
+    def test_save_twice_keeps_working(self, tmp_path):
+        corpus = dblp(30)
+        path = str(tmp_path / "twice.idx")
+        index = PrixIndex.build(corpus.documents, IndexOptions(path=path))
+        index.save()
+        index.save()
+        index.close()
+        reopened = PrixIndex.open(path)
+        assert reopened.doc_count == 30
+        reopened.close()

@@ -1,0 +1,110 @@
+"""Query plan tests: match-tree construction, specs, MaxGap pair kinds."""
+
+import pytest
+
+from repro.prix.plan import (REL_ANCESTOR, REL_CHILD, REL_SIBLING,
+                             REL_UNPRUNABLE, build_plan)
+from repro.query.twig import collapse
+from repro.query.xpath import parse_xpath
+from repro.xmlkit.tree import VALUE_LABEL_PREFIX
+
+
+def plan_for(xpath, extended=False):
+    return build_plan(collapse(parse_xpath(xpath)), extended=extended)
+
+
+class TestRegularPlans:
+    def test_path_plan_sequences(self):
+        plan = plan_for("//a/b/c")
+        assert plan.qlps == ("b", "a")
+        assert plan.qnps == (2, 3)
+        assert plan.root_number == 3
+
+    def test_twig_plan_sequences(self):
+        # a[./b]/c -> postorder b=1, c=2, a=3; LPS = (a, a).
+        plan = plan_for("//a[./b]/c")
+        assert plan.qlps == ("a", "a")
+        assert plan.qnps == (3, 3)
+
+    def test_leaf_checks_cover_leaves(self):
+        plan = plan_for("//a[./b]/c")
+        assert sorted(check.number for check in plan.leaf_checks) == [1, 2]
+        assert {check.label for check in plan.leaf_checks} == {"b", "c"}
+
+    def test_star_leaf_check(self):
+        plan = plan_for("//a/*")
+        (check,) = plan.leaf_checks
+        assert check.is_star and check.label is None
+
+    def test_single_step_query_rejected(self):
+        with pytest.raises(ValueError):
+            plan_for("//a")
+
+    def test_internal_numbers(self):
+        plan = plan_for("//a/b/c")
+        assert plan.internal_numbers == {2, 3}
+
+
+class TestExtendedPlans:
+    def test_dummies_added_under_leaves(self):
+        plan = plan_for("//a[./b]/c", extended=True)
+        # b and c each gain a dummy child: 5 nodes, LPS covers b, c.
+        assert plan.n_nodes == 5
+        assert plan.qlps == ("b", "a", "c", "a")
+        assert not plan.leaf_checks  # nothing left for leaf refinement
+
+    def test_value_leaf_in_lps(self):
+        plan = plan_for('//a[./b="x"]', extended=True)
+        assert VALUE_LABEL_PREFIX + "x" in plan.qlps
+
+    def test_star_leaves_not_extended(self):
+        plan = plan_for("//a/*", extended=True)
+        (check,) = plan.leaf_checks
+        assert check.is_star
+
+    def test_plan_flagged_extended(self):
+        assert plan_for("//a/b", extended=True).extended
+        assert not plan_for("//a/b").extended
+
+
+class TestRelationshipKinds:
+    def test_siblings(self):
+        # a[./b][./c]: positions 1,2 are sibling leaves under a.
+        plan = plan_for("//a[./b][./c]")
+        assert plan.rel_kinds == (REL_SIBLING,)
+
+    def test_child_pair_on_path(self):
+        # a/b/c: q1=c (child of b), q2=b -> child case with plain edge.
+        plan = plan_for("//a/b/c")
+        assert plan.rel_kinds == (REL_CHILD,)
+
+    def test_child_pair_unprunable_with_descendant_edge(self):
+        # a//b/c: b's edge to a is a descendant edge, so the (c,b) pair
+        # cannot be pruned with MaxGap's child bound.
+        plan = plan_for("//a//b/c")
+        assert plan.rel_kinds == (REL_UNPRUNABLE,)
+
+    def test_ancestor_pair(self):
+        # a[./b/x][./c]: q1=x, q2=b, q3=c, q4=a; pair (q2,q3):
+        # parent(q2)=a is a proper ancestor of... actually parent(q3)=a
+        # equals parent(q2)? q2=b has parent a; q3=c parent a -> sibling.
+        # Use a[./b/x]/c with deeper left branch for the ancestor case:
+        # x=1 (parent b), b=2 (parent a), c=3 (parent a), a=4.
+        # pair (q1,q2): parent(x)=b, q2==b -> child.
+        # pair (q2,q3): parent(b)=a == parent(c) -> sibling.
+        plan = plan_for("//a[./b/x]/c")
+        assert plan.rel_kinds == (REL_CHILD, REL_SIBLING)
+
+    def test_true_ancestor_kind(self):
+        # a[./b][./c/d]: postorder b=1, d=2, c=3, a=4.
+        # pair (q1,q2): parent(b)=a, parent(d)=c, a proper ancestor of c.
+        plan = plan_for("//a[./b][./c/d]")
+        assert plan.rel_kinds[0] == REL_ANCESTOR
+
+    def test_plain_flag(self):
+        assert plan_for("//a/b[./c]").plain
+        assert not plan_for("//a//b").plain
+
+    def test_absolute_flag(self):
+        assert plan_for("/a/b").absolute
+        assert not plan_for("//a/b").absolute

@@ -1,0 +1,126 @@
+"""Matching-strategy tests: trie traversal vs document-at-a-time.
+
+The document-at-a-time fallback (an optimizer extension documented in
+DESIGN.md) collects the documents containing the query's rarest LPS
+label via the Docid index and enumerates subsequences inside each; it
+must be answer-identical to Algorithm 1's trie traversal under every
+combination of variant, ordering and MaxGap setting.
+"""
+
+import random
+
+import pytest
+
+from helpers import make_random_tree, make_random_twig
+from repro.baselines.naive import naive_matches
+from repro.prix.index import PrixIndex
+from repro.prix.matcher import _document_lps, _subsequences_in_document
+from repro.prix.plan import build_plan
+from repro.prix.filtering import FilterStats
+from repro.query.twig import collapse
+from repro.query.xpath import parse_xpath
+from repro.xmlkit.parser import parse_document
+from repro.xmlkit.tree import Document
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(314)
+    return [Document(make_random_tree(rng, max_nodes=20), doc_id=i + 1)
+            for i in range(6)]
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("variant", ["rp", "ep"])
+    def test_forced_strategies_agree(self, corpus, variant):
+        index = PrixIndex.build(corpus)
+        rng = random.Random(99)
+        for _ in range(12):
+            pattern = make_random_twig(rng)
+            trie = {(m.doc_id, m.canonical)
+                    for m in index.query(pattern, variant=variant,
+                                         strategy="trie")}
+            document = {(m.doc_id, m.canonical)
+                        for m in index.query(pattern, variant=variant,
+                                             strategy="document")}
+            assert trie == document
+
+    def test_auto_matches_oracle(self, corpus):
+        index = PrixIndex.build(corpus)
+        rng = random.Random(100)
+        for _ in range(12):
+            pattern = make_random_twig(rng)
+            got = {(m.doc_id, m.canonical)
+                   for m in index.query(pattern, strategy="auto")}
+            want = {(d.doc_id, emb) for d in corpus
+                    for emb in naive_matches(d, pattern)}
+            assert got == want
+
+    def test_ordered_mode_consistent(self, corpus):
+        index = PrixIndex.build(corpus)
+        pattern = parse_xpath("//a[./b]/c")
+        trie = {(m.doc_id, m.canonical)
+                for m in index.query(pattern, ordered=True,
+                                     strategy="trie")}
+        document = {(m.doc_id, m.canonical)
+                    for m in index.query(pattern, ordered=True,
+                                         strategy="document")}
+        assert trie == document
+
+
+class TestStrategySelection:
+    def test_rare_needle_triggers_document_strategy(self):
+        docs = [parse_document(
+            f"<entry><common/><field>v{i}</field></entry>", i + 1)
+            for i in range(50)]
+        docs.append(parse_document(
+            "<entry><needle><x/></needle><common/></entry>", 51))
+        index = PrixIndex.build(docs)
+        _, stats = index.query_with_stats("//entry/needle/x",
+                                          variant="rp")
+        assert stats.strategy == "document"
+        assert stats.candidate_documents == 1
+
+    def test_common_labels_use_trie(self):
+        docs = [parse_document("<a><b><c/></b></a>", i + 1)
+                for i in range(400)]
+        index = PrixIndex.build(docs)
+        _, stats = index.query_with_stats("//a/b", variant="rp",
+                                          strategy="auto")
+        # Every document contains the labels: fallback must not engage.
+        assert stats.strategy == "trie"
+
+    def test_stats_report_strategy(self, corpus):
+        index = PrixIndex.build(corpus)
+        _, stats = index.query_with_stats("//a/b", strategy="trie")
+        assert stats.strategy == "trie"
+        _, stats = index.query_with_stats("//a/b", strategy="document")
+        assert stats.strategy == "document"
+
+
+class TestDocumentEnumerator:
+    def test_positions_match_labels(self, fig2_doc):
+        index = PrixIndex.build([fig2_doc])
+        variant = index._variants["rp"]
+        view = index._view_loader(variant)(1)
+        lps_seq = _document_lps(view)
+        assert lps_seq == list("ACBCCBACAEEEDA")
+
+        from repro.datasets import figure2_query
+        plan = build_plan(collapse(figure2_query()), extended=False)
+        stats = FilterStats()
+        found = list(_subsequences_in_document(lps_seq, plan, None, stats))
+        assert (3, 7, 11, 13, 14) in found
+        for positions in found:
+            assert all(lps_seq[p - 1] == label
+                       for p, label in zip(positions, plan.qlps))
+
+    def test_absent_label_short_circuits(self, fig2_doc):
+        index = PrixIndex.build([fig2_doc])
+        view = index._view_loader(index._variants["rp"])(1)
+        lps_seq = _document_lps(view)
+        plan = build_plan(collapse(parse_xpath("//ZZZ/A")), extended=False)
+        stats = FilterStats()
+        assert list(_subsequences_in_document(lps_seq, plan, None,
+                                              stats)) == []
+        assert stats.nodes_visited == 0

@@ -1,0 +1,79 @@
+"""Reconstruction tests: the tree <-> sequence bijection (Section 3.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_random_tree
+from repro.prufer.reconstruct import reconstruct_document
+from repro.prufer.sequence import regular_sequence
+from repro.xmlkit.errors import TreeConstructionError
+from repro.xmlkit.tree import Document, element, same_tree
+
+
+class TestReconstruction:
+    def test_figure2_roundtrip(self, fig2_doc):
+        seq = regular_sequence(fig2_doc)
+        rebuilt = reconstruct_document(seq.lps, seq.nps, seq.leaves)
+        assert same_tree(fig2_doc.root, rebuilt.root)
+
+    def test_single_node(self):
+        doc = Document(element("only"))
+        seq = regular_sequence(doc)
+        rebuilt = reconstruct_document(seq.lps, seq.nps, seq.leaves)
+        assert same_tree(doc.root, rebuilt.root)
+
+    def test_path_tree(self):
+        root = element("a")
+        node = root
+        for tag in "bcde":
+            node = node.append(element(tag))
+        doc = Document(root)
+        seq = regular_sequence(doc)
+        rebuilt = reconstruct_document(seq.lps, seq.nps, seq.leaves)
+        assert same_tree(doc.root, rebuilt.root)
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            reconstruct_document(("a",), (1, 2), ())
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            reconstruct_document(("a",), (9,), ())
+
+    def test_conflicting_labels_rejected(self):
+        # Node 3 labeled both 'x' and 'y'.
+        with pytest.raises(TreeConstructionError):
+            reconstruct_document(("x", "y"), (3, 3), (("l", 1), ("m", 2)))
+
+    def test_missing_leaf_labels_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            reconstruct_document(("a",), (2,), ())
+
+    def test_invalid_postorder_rejected(self):
+        # nps says node 1's parent is 2 and node 2's parent is 1 -- but 3
+        # is the root; the numbering cannot be a postorder numbering.
+        with pytest.raises(TreeConstructionError):
+            reconstruct_document(("a", "b"), (3, 1),
+                                 (("l", 1), ("m", 2)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31))
+def test_bijection_property(seed):
+    """Prufer's one-to-one correspondence: transform then reconstruct
+    yields a structurally identical tree, for arbitrary labeled trees
+    including value nodes."""
+    rng = random.Random(seed)
+    doc = Document(make_random_tree(rng, max_nodes=24))
+    seq = regular_sequence(doc)
+    rebuilt = reconstruct_document(seq.lps, seq.nps, seq.leaves)
+    assert same_tree(doc.root, rebuilt.root)
+    # And the rebuilt tree produces the identical sequence again.
+    seq2 = regular_sequence(rebuilt)
+    assert seq2.lps == seq.lps
+    assert seq2.nps == seq.nps

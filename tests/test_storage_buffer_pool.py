@@ -1,0 +1,147 @@
+"""Buffer pool tests: caching, eviction, dirty write-back, accounting."""
+
+import pytest
+
+from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.pager import Pager
+
+
+def make_pool(capacity=4, page_size=64):
+    pager = Pager.in_memory(page_size=page_size)
+    return BufferPool(pager, capacity=capacity), pager
+
+
+class TestCaching:
+    def test_hit_avoids_physical_read(self):
+        pool, pager = make_pool()
+        pid, _ = pool.new_page()
+        pool.flush_and_clear()
+        pool.get(pid)
+        pool.get(pid)
+        assert pager.stats.physical_reads == 1
+        assert pager.stats.logical_reads == 2
+
+    def test_capacity_validated(self):
+        pager = Pager.in_memory()
+        with pytest.raises(ValueError):
+            BufferPool(pager, capacity=0)
+
+    def test_default_capacity_matches_paper(self):
+        assert DEFAULT_POOL_PAGES == 2000
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        pool, pager = make_pool(capacity=2)
+        pids = [pool.new_page()[0] for _ in range(2)]
+        pool.flush_and_clear()
+        pool.get(pids[0])
+        pool.get(pids[1])
+        pool.get(pids[0])           # 0 is now most recent
+        extra = pager.allocate()
+        pool.get(extra)             # evicts pids[1]
+        reads = pager.stats.physical_reads
+        pool.get(pids[0])           # still cached
+        assert pager.stats.physical_reads == reads
+        pool.get(pids[1])           # was evicted
+        assert pager.stats.physical_reads == reads + 1
+
+    def test_dirty_page_written_on_eviction(self):
+        pool, pager = make_pool(capacity=1, page_size=32)
+        pid, frame = pool.new_page()
+        frame[:4] = b"\xaa\xbb\xcc\xdd"
+        pool.mark_dirty(pid)
+        other = pager.allocate()
+        pool.get(other)  # forces eviction of pid
+        assert bytes(pager.read(pid))[:4] == b"\xaa\xbb\xcc\xdd"
+
+    def test_evictions_counted(self):
+        pool, pager = make_pool(capacity=1)
+        pool.new_page()
+        pool.new_page()
+        assert pager.stats.evictions == 1
+
+
+class TestDirtyTracking:
+    def test_flush_writes_dirty_pages(self):
+        pool, pager = make_pool(page_size=32)
+        pid, frame = pool.new_page()
+        frame[0] = 9
+        pool.mark_dirty(pid)
+        pool.flush()
+        assert pager.read(pid)[0] == 9
+
+    def test_put_replaces_contents(self):
+        pool, pager = make_pool(page_size=8)
+        pid, _ = pool.new_page()
+        pool.put(pid, b"\x05" * 8)
+        pool.flush()
+        assert bytes(pager.read(pid)) == b"\x05" * 8
+
+    def test_mark_dirty_requires_residency(self):
+        pool, pager = make_pool(capacity=1)
+        pid, _ = pool.new_page()
+        pool.new_page()  # evicts pid
+        with pytest.raises(KeyError):
+            pool.mark_dirty(pid)
+
+
+class TestDecodedCache:
+    def test_decoder_called_once_while_resident(self):
+        pool, _ = make_pool()
+        pid, _ = pool.new_page()
+        calls = []
+
+        def decoder(page_id, frame):
+            calls.append(page_id)
+            return object()
+
+        first = pool.get_decoded(pid, decoder)
+        second = pool.get_decoded(pid, decoder)
+        assert first is second
+        assert calls == [pid]
+
+    def test_decoded_dropped_on_put(self):
+        pool, _ = make_pool(page_size=8)
+        pid, _ = pool.new_page()
+        pool.get_decoded(pid, lambda p, f: ("v", bytes(f)))
+        pool.put(pid, b"\x01" * 8)
+        value = pool.get_decoded(pid, lambda p, f: ("v2", bytes(f)))
+        assert value == ("v2", b"\x01" * 8)
+
+    def test_decoded_dropped_on_eviction(self):
+        pool, pager = make_pool(capacity=1)
+        pid, _ = pool.new_page()
+        pool.get_decoded(pid, lambda p, f: "first")
+        pool.new_page()  # evicts pid
+        assert pool.get_decoded(pid, lambda p, f: "second") == "second"
+
+    def test_cold_clear_forces_physical_reread(self):
+        pool, pager = make_pool()
+        pid, _ = pool.new_page()
+        pool.get_decoded(pid, lambda p, f: "x")
+        pool.flush_and_clear()
+        before = pager.stats.physical_reads
+        pool.get_decoded(pid, lambda p, f: "x")
+        assert pager.stats.physical_reads == before + 1
+
+
+class TestStatsDelta:
+    def test_snapshot_delta(self):
+        pool, pager = make_pool()
+        snap = pager.stats.snapshot()
+        pid, _ = pool.new_page()
+        pool.flush_and_clear()
+        pool.get(pid)
+        delta = pager.stats.delta(snap)
+        assert delta.physical_reads == 1
+        assert delta.allocations == 1
+
+    def test_hit_ratio(self):
+        pool, pager = make_pool()
+        pid, _ = pool.new_page()
+        pool.flush_and_clear()
+        pager.stats.reset()
+        pool.get(pid)
+        pool.get(pid)
+        assert pager.stats.hit_ratio == 0.5

@@ -1,0 +1,91 @@
+"""Key codec tests: order preservation is what the B+-trees rely on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.codec import (decode_key, decode_varints, encode_int,
+                                 encode_key, encode_str, encode_varints)
+
+
+class TestIntEncoding:
+    def test_order_preserved(self):
+        values = [0, 1, 2, 255, 256, 2 ** 32, 2 ** 63, 2 ** 64 - 1]
+        encoded = [encode_int(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_int(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_int(2 ** 64)
+
+
+class TestStrEncoding:
+    def test_prefix_sorts_first(self):
+        assert encode_str("ab") < encode_str("abc")
+
+    def test_embedded_nul_handled(self):
+        assert decode_key(encode_key("a\x00b")) == ("a\x00b",)
+
+    def test_nul_ordering(self):
+        # "a" < "a\x00" < "ab" must survive encoding.
+        keys = [encode_str("a"), encode_str("a\x00"), encode_str("ab")]
+        assert keys == sorted(keys)
+
+
+class TestCompositeKeys:
+    def test_roundtrip(self):
+        key = encode_key("tag", 42, "suffix")
+        assert decode_key(key) == ("tag", 42, "suffix")
+
+    def test_component_order_dominates(self):
+        assert encode_key("a", 99) < encode_key("b", 0)
+
+    def test_int_within_same_prefix(self):
+        assert encode_key("a", 1) < encode_key("a", 2)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_key(1.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            encode_key(True)
+
+
+class TestVarints:
+    def test_roundtrip_simple(self):
+        values = [0, 1, 127, 128, 300, 2 ** 20]
+        assert decode_varints(encode_varints(values)) == values
+
+    def test_empty(self):
+        assert decode_varints(encode_varints([])) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varints([-1])
+
+    def test_truncated_stream_rejected(self):
+        with pytest.raises(ValueError):
+            decode_varints(b"\x80")
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(
+    st.text(max_size=8),
+    st.integers(min_value=0, max_value=2 ** 64 - 1)), min_size=2, max_size=6))
+def test_composite_key_order_matches_tuple_order(pairs):
+    encoded = [(encode_key(text, number), (text, number))
+               for text, number in pairs]
+    by_bytes = sorted(encoded, key=lambda item: item[0])
+    by_tuple = sorted(encoded, key=lambda item: item[1])
+    assert [item[1] for item in by_bytes] == [item[1] for item in by_tuple]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 40), max_size=50))
+def test_varint_roundtrip_property(values):
+    assert decode_varints(encode_varints(values)) == values

@@ -1,0 +1,93 @@
+"""Table 3 reproduction at test scale: every engine agrees on Q1-Q9.
+
+The paper's Table 3 reports one match count per query; here the PRIX
+engine (both variants), the naive oracle, TwigStack and TwigStackXB must
+all agree on our synthetic corpora, and ViST's candidate documents must
+cover the true documents.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_matches
+from repro.baselines.region import StreamSet, build_stream_entries
+from repro.baselines.twigstack import twig_stack
+from repro.baselines.twigstackxb import XBForest, twig_stack_xb
+from repro.baselines.vist import VistIndex
+from repro.bench.workloads import QUERIES, queries_for
+from repro.prix.index import PrixIndex
+from repro.query.xpath import parse_xpath
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+
+
+@pytest.fixture(scope="module")
+def corpora(tiny_dblp, tiny_swissprot, tiny_treebank):
+    return {"dblp": tiny_dblp, "swissprot": tiny_swissprot,
+            "treebank": tiny_treebank}
+
+
+@pytest.fixture(scope="module")
+def systems(corpora):
+    built = {}
+    for name, corpus in corpora.items():
+        docs = corpus.documents
+        prix = PrixIndex.build(docs)
+        stream_pool = BufferPool(Pager.in_memory())
+        streams = StreamSet.build(docs, stream_pool)
+        xb_pool = BufferPool(Pager.in_memory())
+        forest = XBForest.build(build_stream_entries(docs), xb_pool)
+        vist_pool = BufferPool(Pager.in_memory())
+        vist = VistIndex.build(docs, vist_pool)
+        built[name] = (prix, streams, forest, vist)
+    return built
+
+
+@pytest.mark.parametrize("spec", QUERIES, ids=[s.qid for s in QUERIES])
+def test_all_systems_agree(spec, corpora, systems):
+    docs = corpora[spec.corpus].documents
+    prix, streams, forest, vist = systems[spec.corpus]
+    pattern = parse_xpath(spec.xpath)
+
+    oracle = {(d.doc_id, emb) for d in docs
+              for emb in naive_matches(d, pattern)}
+
+    prix_rp = {(m.doc_id, m.canonical)
+               for m in prix.query(pattern, variant="rp")}
+    prix_ep = {(m.doc_id, m.canonical)
+               for m in prix.query(pattern, variant="ep")}
+    assert prix_rp == oracle, f"{spec.qid}: RPIndex diverges from oracle"
+    assert prix_ep == oracle, f"{spec.qid}: EPIndex diverges from oracle"
+
+    # The Table 3 queries have no nested-branch overlaps, so the XPath
+    # semantics of the stack joins coincides with PRIX's here.
+    ts_matches, _ = twig_stack(pattern, streams)
+    xb_matches, _ = twig_stack_xb(pattern, forest)
+    assert ts_matches == oracle, f"{spec.qid}: TwigStack diverges"
+    assert xb_matches == oracle, f"{spec.qid}: TwigStackXB diverges"
+
+    vist_docs, _ = vist.query(pattern)
+    true_docs = {doc_id for doc_id, _ in oracle}
+    assert vist_docs >= true_docs, f"{spec.qid}: ViST false dismissal"
+
+
+@pytest.mark.parametrize("spec", QUERIES, ids=[s.qid for s in QUERIES])
+def test_planted_needles_found(spec, corpora, systems):
+    """Each query has at least one match -- the generators planted them."""
+    prix, _, _, _ = systems[spec.corpus]
+    assert len(prix.query(parse_xpath(spec.xpath))) >= 1
+
+
+def test_queries_for_grouping():
+    assert [s.qid for s in queries_for("dblp")] == ["Q1", "Q2", "Q3"]
+    assert [s.qid for s in queries_for("swissprot")] == ["Q4", "Q5", "Q6"]
+    assert [s.qid for s in queries_for("treebank")] == ["Q7", "Q8", "Q9"]
+
+
+def test_expected_plant_counts(corpora, systems):
+    """Counts that the generators fix exactly (documented needles)."""
+    prix_dblp = systems["dblp"][0]
+    assert len(prix_dblp.query(parse_xpath(QUERIES[0].xpath))) == 6   # Q1
+    assert len(prix_dblp.query(parse_xpath(QUERIES[2].xpath))) == 1   # Q3
+    prix_swiss = systems["swissprot"][0]
+    assert len(prix_swiss.query(parse_xpath(QUERIES[3].xpath))) == 3  # Q4
+    assert len(prix_swiss.query(parse_xpath(QUERIES[4].xpath))) == 5  # Q5

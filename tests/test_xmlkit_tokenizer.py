@@ -1,0 +1,159 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.xmlkit.errors import XMLSyntaxError
+from repro.xmlkit.tokenizer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)]
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        assert kinds("<a></a>") == [(TokenType.START, "a"),
+                                    (TokenType.END, "a")]
+
+    def test_self_closing(self):
+        tokens = list(tokenize("<a/>"))
+        assert len(tokens) == 1
+        assert tokens[0].self_closing
+
+    def test_text_content(self):
+        assert kinds("<a>hello</a>") == [
+            (TokenType.START, "a"), (TokenType.TEXT, "hello"),
+            (TokenType.END, "a")]
+
+    def test_nested_elements(self):
+        assert kinds("<a><b/></a>") == [
+            (TokenType.START, "a"), (TokenType.START, "b"),
+            (TokenType.END, "a")]
+
+    def test_whitespace_only_text_dropped(self):
+        assert kinds("<a>\n  <b/>\n</a>") == [
+            (TokenType.START, "a"), (TokenType.START, "b"),
+            (TokenType.END, "a")]
+
+    def test_names_with_punctuation(self):
+        tokens = list(tokenize("<ns:tag-1.x/>"))
+        assert tokens[0].value == "ns:tag-1.x"
+
+    def test_end_tag_with_whitespace(self):
+        assert kinds("<a></a >") == [(TokenType.START, "a"),
+                                     (TokenType.END, "a")]
+
+
+class TestAttributes:
+    def test_single_attribute(self):
+        token = next(tokenize('<a key="v"/>'))
+        assert token.attrs == (("key", "v"),)
+
+    def test_multiple_attributes(self):
+        token = next(tokenize('<a x="1" y="2"/>'))
+        assert token.attrs == (("x", "1"), ("y", "2"))
+
+    def test_single_quotes(self):
+        token = next(tokenize("<a x='1'/>"))
+        assert token.attrs == (("x", "1"),)
+
+    def test_attribute_with_spaces_around_eq(self):
+        token = next(tokenize('<a x = "1"/>'))
+        assert token.attrs == (("x", "1"),)
+
+    def test_attribute_entity_decoding(self):
+        token = next(tokenize('<a x="a&amp;b"/>'))
+        assert token.attrs == (("x", "a&b"),)
+
+    def test_empty_attribute_value(self):
+        token = next(tokenize('<a x=""/>'))
+        assert token.attrs == (("x", ""),)
+
+    def test_missing_eq_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize('<a x"1"/>'))
+
+    def test_unquoted_value_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a x=1/>"))
+
+    def test_unterminated_value_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize('<a x="1>'))
+
+
+class TestEntities:
+    @pytest.mark.parametrize("entity,expected", [
+        ("&amp;", "&"), ("&lt;", "<"), ("&gt;", ">"),
+        ("&quot;", '"'), ("&apos;", "'"),
+    ])
+    def test_predefined_entities(self, entity, expected):
+        tokens = list(tokenize(f"<a>{entity}</a>"))
+        assert tokens[1].value == expected
+
+    def test_decimal_reference(self):
+        tokens = list(tokenize("<a>&#65;</a>"))
+        assert tokens[1].value == "A"
+
+    def test_hex_reference(self):
+        tokens = list(tokenize("<a>&#x41;</a>"))
+        assert tokens[1].value == "A"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a>&nope;</a>"))
+
+
+class TestMarkupSkipping:
+    def test_comment_skipped(self):
+        assert kinds("<a><!-- hi --></a>") == [
+            (TokenType.START, "a"), (TokenType.END, "a")]
+
+    def test_comment_with_markup_inside(self):
+        assert kinds("<a><!-- <b> --></a>") == [
+            (TokenType.START, "a"), (TokenType.END, "a")]
+
+    def test_xml_declaration_skipped(self):
+        assert kinds('<?xml version="1.0"?><a/>')[0] == (TokenType.START, "a")
+
+    def test_processing_instruction_skipped(self):
+        assert kinds("<?php echo ?><a/>")[0] == (TokenType.START, "a")
+
+    def test_doctype_skipped(self):
+        assert kinds("<!DOCTYPE dblp SYSTEM 'dblp.dtd'><a/>")[0] == (
+            TokenType.START, "a")
+
+    def test_doctype_with_internal_subset(self):
+        text = "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>"
+        assert kinds(text)[0] == (TokenType.START, "a")
+
+    def test_cdata_becomes_text(self):
+        tokens = list(tokenize("<a><![CDATA[<raw&>]]></a>"))
+        assert tokens[1].value == "<raw&>"
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a><!-- oops"))
+
+    def test_unterminated_cdata_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a><![CDATA[oops"))
+
+
+class TestErrors:
+    def test_unterminated_start_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a"))
+
+    def test_malformed_start_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<1a/>"))
+
+    def test_malformed_end_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a></1>"))
+
+    def test_offset_reported(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            list(tokenize("<a><!-- x"))
+        assert info.value.offset == 3

@@ -1,0 +1,223 @@
+"""Tree model tests: numbering, traversal, extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import make_random_tree
+from repro.xmlkit.errors import TreeConstructionError
+from repro.xmlkit.tree import (DUMMY_TAG, VALUE_LABEL_PREFIX, Document,
+                               XMLNode, copy_tree, element,
+                               extend_with_dummies, same_tree,
+                               sequence_label, value)
+
+
+def small_tree():
+    #      a
+    #    / | \
+    #   b  c  d
+    #  /|     |
+    # e f     g
+    root = element("a")
+    b = element("b")
+    b.append(element("e"))
+    b.append(element("f"))
+    root.append(b)
+    root.append(element("c"))
+    d = element("d")
+    d.append(element("g"))
+    root.append(d)
+    return root
+
+
+class TestNodeBasics:
+    def test_empty_label_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            XMLNode("")
+
+    def test_value_node_cannot_have_children(self):
+        with pytest.raises(TreeConstructionError):
+            value("txt").append(element("a"))
+
+    def test_reparenting_rejected(self):
+        child = element("b")
+        element("a").append(child)
+        with pytest.raises(TreeConstructionError):
+            element("c").append(child)
+
+    def test_text_concatenation(self):
+        root = element("a")
+        root.append(value("x"))
+        b = element("b")
+        b.append(value("y"))
+        root.append(b)
+        assert root.text() == "xy"
+
+    def test_find_and_child_by_tag(self):
+        root = small_tree()
+        assert root.find("g").tag == "g"
+        assert root.child_by_tag("c").tag == "c"
+        assert root.child_by_tag("zzz") is None
+
+
+class TestPostorderNumbering:
+    def test_postorder_order(self):
+        doc = Document(small_tree())
+        tags = [n.tag for n in doc.nodes_in_postorder()]
+        assert tags == ["e", "f", "b", "c", "g", "d", "a"]
+
+    def test_numbers_are_one_based_contiguous(self):
+        doc = Document(small_tree())
+        numbers = [n.postorder for n in doc.nodes_in_postorder()]
+        assert numbers == list(range(1, 8))
+
+    def test_root_gets_largest_number(self):
+        doc = Document(small_tree())
+        assert doc.root.postorder == doc.size
+
+    def test_node_by_postorder_roundtrip(self):
+        doc = Document(small_tree())
+        for node in doc.nodes_in_postorder():
+            assert doc.node_by_postorder(node.postorder) is node
+
+    def test_children_numbers_ascending(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            doc = Document(make_random_tree(rng))
+            for node in doc.nodes_in_postorder():
+                numbers = [c.postorder for c in node.children]
+                assert numbers == sorted(numbers)
+
+    def test_subtree_numbers_contiguous(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            doc = Document(make_random_tree(rng))
+            for node in doc.nodes_in_postorder():
+                numbers = sorted(d.postorder for d in node.iter_subtree())
+                assert numbers == list(
+                    range(node.postorder - len(numbers) + 1,
+                          node.postorder + 1))
+
+
+class TestRegionEncoding:
+    def test_containment_matches_ancestry(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            doc = Document(make_random_tree(rng))
+            nodes = doc.nodes_in_postorder()
+            for node in nodes:
+                for other in nodes:
+                    is_ancestor = False
+                    walk = other.parent
+                    while walk is not None:
+                        if walk is node:
+                            is_ancestor = True
+                            break
+                        walk = walk.parent
+                    contains = (node.start < other.start
+                                and other.end < node.end)
+                    assert contains == is_ancestor
+
+    def test_levels(self):
+        doc = Document(small_tree())
+        assert doc.root.level == 1
+        assert doc.root.children[0].level == 2
+        assert doc.max_depth() == 3
+
+
+class TestLeavesAndCounts:
+    def test_leaves(self):
+        doc = Document(small_tree())
+        assert doc.leaves() == [("e", 1), ("f", 2), ("c", 4), ("g", 5)]
+
+    def test_counts(self):
+        root = small_tree()
+        root.append(value("txt"))
+        doc = Document(root)
+        assert doc.element_count() == 7
+        assert doc.value_count() == 1
+
+
+class TestCopyAndEquality:
+    def test_copy_is_structurally_equal(self):
+        root = small_tree()
+        assert same_tree(root, copy_tree(root))
+
+    def test_copy_is_deep(self):
+        root = small_tree()
+        clone = copy_tree(root)
+        clone.children[0].tag = "changed"
+        assert root.children[0].tag == "b"
+
+    def test_same_tree_detects_label_difference(self):
+        a, b = small_tree(), small_tree()
+        b.find("g").tag = "x"
+        assert not same_tree(a, b)
+
+    def test_same_tree_detects_shape_difference(self):
+        a, b = small_tree(), small_tree()
+        b.find("c").append(element("new"))
+        assert not same_tree(a, b)
+
+    def test_same_tree_detects_value_flag(self):
+        a = element("a")
+        a.append(value("x"))
+        b = element("a")
+        b.append(element("x"))
+        assert not same_tree(a, b)
+
+
+class TestExtendWithDummies:
+    def test_every_original_leaf_gets_dummy(self):
+        extended = extend_with_dummies(small_tree())
+        for node in extended.iter_subtree():
+            if node.is_dummy:
+                continue
+            if not node.children:
+                raise AssertionError(
+                    f"original node {node.tag} left as a leaf")
+        dummies = [n for n in extended.iter_subtree() if n.is_dummy]
+        assert len(dummies) == 4
+
+    def test_original_not_mutated(self):
+        root = small_tree()
+        extend_with_dummies(root)
+        assert all(not n.is_dummy for n in root.iter_subtree())
+
+    def test_value_leaves_extended(self):
+        root = element("a")
+        root.append(value("txt"))
+        extended = extend_with_dummies(root)
+        text_node = extended.children[0]
+        assert text_node.is_value
+        assert text_node.children[0].is_dummy
+
+
+class TestSequenceLabels:
+    def test_element_label_unchanged(self):
+        assert sequence_label(element("a")) == "a"
+
+    def test_value_label_prefixed(self):
+        assert sequence_label(value("a")) == VALUE_LABEL_PREFIX + "a"
+
+    def test_value_and_element_never_collide(self):
+        assert sequence_label(value("title")) != sequence_label(
+            element("title"))
+
+    def test_dummy_tag_is_not_a_valid_name(self):
+        assert DUMMY_TAG.startswith("#")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31))
+def test_renumber_is_idempotent(seed):
+    rng = random.Random(seed)
+    doc = Document(make_random_tree(rng))
+    first = [(n.postorder, n.start, n.end, n.level)
+             for n in doc.nodes_in_postorder()]
+    doc.renumber()
+    second = [(n.postorder, n.start, n.end, n.level)
+              for n in doc.nodes_in_postorder()]
+    assert first == second
