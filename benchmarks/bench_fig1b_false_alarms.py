@@ -67,3 +67,5 @@ def test_fig1b_false_alarm(benchmark):
     assert prix_found == true_docs, "PRIX: exactly the true documents"
     assert vist_found > true_docs, "ViST: false alarms on every trap"
     assert len(vist_found - true_docs) == len(trap_docs) // 2
+    prix.close()
+    prix_large.close()

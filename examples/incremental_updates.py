@@ -72,7 +72,9 @@ def main():
         fresh = bulk_index.rebuilt()
         print(f"rebuilt index holds {fresh.doc_count} documents; "
               f"//x/y -> {len(fresh.query('//x/y'))} match")
+        fresh.close()
 
+    bulk_index.close()
     reopened.close()
     os.unlink(path)
     os.rmdir(workdir)

@@ -68,6 +68,7 @@ def main():
     rebuilt = reconstruct_document(seq.lps, seq.nps, seq.leaves)
     assert same_tree(tree.root, rebuilt.root)
     print("  reconstruct(LPS, NPS, leaves) == T   [verified]")
+    index.close()
 
     print("\nAll paper examples reproduced.")
 

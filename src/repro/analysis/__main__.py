@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run prixlint from the command line."""
+
+import sys
+
+from repro.analysis.runner import main
+
+sys.exit(main())

@@ -1,0 +1,101 @@
+"""Baseline files: grandfather existing findings without silencing new ones.
+
+A baseline is a JSON document listing findings that predate the linter's
+adoption.  Matching is by ``(rule, path, snippet)`` with multiplicity, so
+line numbers may drift freely but a *new* occurrence of a grandfathered
+pattern -- even in the same file -- still fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or has an unknown version."""
+
+
+def baseline_from_findings(findings):
+    """Build the multiset of baseline keys from current findings."""
+    return Counter(finding.baseline_key for finding in findings)
+
+
+def write_baseline(path, findings):
+    """Serialize ``findings`` as a baseline file at ``path``."""
+    counts = baseline_from_findings(findings)
+    entries = [{"rule": rule, "path": file_path, "snippet": snippet,
+                "count": count}
+               for (rule, file_path, snippet), count in sorted(counts.items())]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path):
+    """Read a baseline file back into a key multiset."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(document, dict):
+        raise BaselineError(f"{path}: baseline must be a JSON object")
+    if document.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline version "
+            f"{document.get('version')!r} (expected {BASELINE_VERSION})")
+    counts = Counter()
+    for entry in document.get("findings", []):
+        try:
+            key = (entry["rule"], entry["path"], entry["snippet"])
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"{path}: malformed baseline entry {entry!r}") from error
+        counts[key] += count
+    return counts
+
+
+def _path_parts(path):
+    return tuple(str(path).replace("\\", "/").split("/"))
+
+
+def _paths_match(stored, actual):
+    """True when one path is a trailing subpath of the other.
+
+    Baselines store paths as written at ``--write-baseline`` time
+    (usually repository-relative); later runs may lint via absolute
+    paths or from a different working directory.  Suffix matching keeps
+    the key stable across invocation styles without a config knob.
+    """
+    shorter, longer = sorted((_path_parts(stored), _path_parts(actual)),
+                             key=len)
+    return longer[len(longer) - len(shorter):] == shorter
+
+
+def apply_baseline(findings, baseline):
+    """Split findings into (new, grandfathered) against the baseline.
+
+    Each baseline entry absorbs at most ``count`` matching findings;
+    extras surface as new.
+    """
+    # (rule, snippet) -> list of [stored_path, remaining_count]
+    remaining = {}
+    for (rule, path, snippet), count in Counter(baseline).items():
+        remaining.setdefault((rule, snippet), []).append([path, count])
+    new, grandfathered = [], []
+    for finding in findings:
+        entries = remaining.get((finding.rule, finding.snippet), ())
+        for entry in entries:
+            if entry[1] > 0 and _paths_match(entry[0], finding.path):
+                entry[1] -= 1
+                grandfathered.append(finding)
+                break
+        else:
+            new.append(finding)
+    return new, grandfathered

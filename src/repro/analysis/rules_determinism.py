@@ -1,0 +1,66 @@
+"""Determinism rule: every random number must come from a seeded stream.
+
+The reproduction's corpora (DBLP/SWISSPROT/Treebank generators) and
+sampled workloads must be byte-identical across runs, or the paper's
+tables stop being comparable between commits.  That holds only when all
+randomness flows through explicitly seeded ``random.Random(seed)``
+instances -- never the process-global module functions, and never an
+unseeded ``Random()`` (which seeds from the OS).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import ImportTracker, Rule
+
+#: Constructors on the ``random`` module that are fine *when seeded*.
+_CONSTRUCTORS = frozenset({"Random"})
+#: Never acceptable: explicitly non-deterministic by design.
+_FORBIDDEN_CLASSES = frozenset({"SystemRandom"})
+
+
+class SeededRngRule(ImportTracker, Rule):
+    """Forbid module-level ``random.*`` calls and unseeded ``Random()``."""
+
+    name = "seeded-rng"
+    description = ("random.Random(...) must receive an explicit seed and "
+                   "module-level random.* functions are forbidden")
+    watched_modules = ("random",)
+
+    def visit_ImportFrom(self, node):
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _CONSTRUCTORS:
+                    self.report(node, f"from random import {alias.name}: "
+                                      "module-level RNG functions bypass "
+                                      "seeding; construct a seeded "
+                                      "random.Random instead")
+        super().visit_ImportFrom(node)
+
+    def visit_Call(self, node):
+        resolved = self.resolve_call(node)
+        if resolved is not None and resolved[0] == "random":
+            _, func = resolved
+            if func in _FORBIDDEN_CLASSES:
+                self.report(node, f"random.{func} is non-deterministic by "
+                                  "design; use a seeded random.Random")
+            elif func in _CONSTRUCTORS:
+                self._check_seeded(node, func)
+            else:
+                self.report(node, f"module-level random.{func}() uses the "
+                                  "shared unseeded RNG; corpora and "
+                                  "workloads must come from a seeded "
+                                  "random.Random instance")
+        self.generic_visit(node)
+
+    def _check_seeded(self, node, func):
+        """``Random()`` with no argument seeds from the OS -- flag it."""
+        has_seed = bool(node.args) or any(kw.arg is None
+                                          for kw in node.keywords)
+        explicit_none = (len(node.args) == 1
+                         and isinstance(node.args[0], ast.Constant)
+                         and node.args[0].value is None)
+        if not has_seed or explicit_none:
+            self.report(node, f"random.{func}() without an explicit seed "
+                              "is non-reproducible; pass a seed argument")

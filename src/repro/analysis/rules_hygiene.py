@@ -1,0 +1,86 @@
+"""Generic hygiene rules applied across the whole tree.
+
+Neither rule is PRIX-specific, but both failure modes have bitten
+storage engines before: a mutable default argument turns a per-call
+cache into cross-index shared state, and a bare ``except:`` swallows
+``KeyboardInterrupt`` mid-flush and leaves a torn page file behind.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Rule
+
+#: Builtin constructors whose zero-arg call in a default is just as
+#: shared as a literal.
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "OrderedDict", "defaultdict", "Counter", "deque",
+})
+
+
+class NoMutableDefaultArgRule(Rule):
+    """Default argument values must not be mutable objects."""
+
+    name = "no-mutable-default-arg"
+    description = ("mutable default arguments are shared across calls; "
+                   "default to None and construct inside the function")
+
+    def visit_FunctionDef(self, node):
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            problem = self._mutable_kind(default)
+            if problem is not None:
+                self.report(default, f"mutable default argument "
+                                     f"({problem}) in {node.name}(); one "
+                                     "instance is shared by every call")
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node):
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            problem = self._mutable_kind(default)
+            if problem is not None:
+                self.report(default, f"mutable default argument "
+                                     f"({problem}) in lambda; one "
+                                     "instance is shared by every call")
+        self.generic_visit(node)
+
+    @staticmethod
+    def _mutable_kind(node):
+        if isinstance(node, ast.List):
+            return "list literal"
+        if isinstance(node, ast.Dict):
+            return "dict literal"
+        if isinstance(node, ast.Set):
+            return "set literal"
+        if isinstance(node, ast.ListComp):
+            return "list comprehension"
+        if isinstance(node, ast.DictComp):
+            return "dict comprehension"
+        if isinstance(node, ast.SetComp):
+            return "set comprehension"
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in _MUTABLE_CALLS):
+            return f"{node.func.id}() call"
+        return None
+
+
+class NoBareExceptRule(Rule):
+    """``except:`` must name the exceptions it intends to swallow."""
+
+    name = "no-bare-except"
+    description = ("bare except: catches SystemExit/KeyboardInterrupt and "
+                   "can hide a torn flush; name the exception types")
+
+    def visit_ExceptHandler(self, node):
+        if node.type is None:
+            self.report(node, "bare except: catches everything including "
+                              "KeyboardInterrupt during a flush; name the "
+                              "exception types")
+        self.generic_visit(node)

@@ -6,10 +6,12 @@ Usage::
     python -m repro.cli build INDEX.idx --corpus dblp --scale small
     python -m repro.cli query INDEX.idx '//book[./author="Knuth"]/title'
     python -m repro.cli stats INDEX.idx
+    python -m repro.cli lint src/repro --format json
 
 ``build`` indexes XML files (one document each) or one of the bundled
 synthetic corpora; ``query`` runs a twig query and prints matches with
-execution statistics; ``stats`` summarizes a saved index.
+execution statistics; ``stats`` summarizes a saved index; ``lint`` runs
+the prixlint static invariant checks (see ``docs/ANALYSIS.md``).
 """
 
 from __future__ import annotations
@@ -143,6 +145,11 @@ def _cmd_explain(args):
         index.close()
 
 
+def _cmd_lint(args):
+    from repro.analysis.runner import run_lint
+    return run_lint(args)
+
+
 def _cmd_stats(args):
     index = PrixIndex.open(args.index)
     try:
@@ -227,6 +234,13 @@ def make_parser():
     stats = commands.add_parser("stats", help="summarize a saved index")
     stats.add_argument("index", help="index file")
     stats.set_defaults(func=_cmd_stats)
+
+    from repro.analysis.runner import add_lint_arguments
+    lint = commands.add_parser(
+        "lint", help="run prixlint static invariant checks "
+                     "(I/O accounting, determinism, resource safety)")
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -11,7 +11,8 @@ from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.codec import (decode_key, encode_int, encode_key,
                                  encode_str)
-from repro.storage.errors import PageOverflowError, StorageError
+from repro.storage.errors import (PageOverflowError, PageSizeError,
+                                  StorageError)
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
 from repro.storage.stats import IOStats
@@ -22,6 +23,7 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "IOStats",
     "PageOverflowError",
+    "PageSizeError",
     "Pager",
     "RecordStore",
     "StorageError",

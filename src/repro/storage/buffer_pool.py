@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.storage.errors import PageSizeError
+
 #: Pool capacity used by the experiments; matches the paper's 2000 pages.
 DEFAULT_POOL_PAGES = 2000
 
@@ -77,7 +79,16 @@ class BufferPool:
         return decoded
 
     def put(self, page_id, data):
-        """Replace the cached image of ``page_id`` and mark it dirty."""
+        """Replace the cached image of ``page_id`` and mark it dirty.
+
+        ``data`` must be a full page image: ``frame[:] = data`` with a
+        short payload would silently shrink the frame, and the truncated
+        image is what an eviction later writes back.
+        """
+        if len(data) != self._pager.page_size:
+            raise PageSizeError(
+                f"page image must be exactly {self._pager.page_size} "
+                f"bytes, got {len(data)}")
         frame = self._frames.get(page_id)
         if frame is None:
             frame = bytearray(self._pager.page_size)

@@ -13,5 +13,14 @@ class PageNotFoundError(StorageError):
     """A page id is outside the allocated range of the file."""
 
 
+class PageSizeError(StorageError, ValueError):
+    """A page image does not match the configured page size.
+
+    Raised instead of silently resizing a buffer frame: a short ``put``
+    would shrink the in-pool image and the eventual write-back would then
+    corrupt the file (or fail far from the buggy caller).
+    """
+
+
 class KeyNotFoundError(StorageError, KeyError):
     """A delete or exact lookup referenced a key that is absent."""

@@ -45,10 +45,18 @@ class IOStats:
 
     @property
     def hit_ratio(self):
-        """Fraction of logical reads served from the pool."""
+        """Fraction of logical reads served from the pool.
+
+        Returns ``None`` when there was no logical traffic at all (no
+        reads means no meaningful ratio).  Direct pager traffic --
+        physical reads issued without a logical read, e.g. a benchmark
+        peeking at pages behind the pool -- would push the raw ratio
+        below zero, so the result is clamped to ``[0.0, 1.0]``.
+        """
         if self.logical_reads == 0:
-            return 1.0
-        return 1.0 - self.physical_reads / self.logical_reads
+            return None
+        ratio = 1.0 - self.physical_reads / self.logical_reads
+        return min(1.0, max(0.0, ratio))
 
 
 @dataclass

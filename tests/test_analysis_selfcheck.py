@@ -1,0 +1,84 @@
+"""Self-check: the shipped tree must satisfy its own linter.
+
+This is the acceptance gate from the issue: ``prix lint src/repro``
+exits 0, the grandfather baseline covers the whole repository, and a
+deliberately introduced violation (raw ``open()`` in the storage layer,
+unseeded RNG in a dataset generator) makes the lint fail.
+"""
+
+import shutil
+from pathlib import Path
+
+from repro.analysis import lint_paths, load_baseline
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / ".prixlint-baseline.json"
+
+
+class TestTreeIsClean:
+    def test_src_repro_is_clean_under_all_rules(self):
+        result = lint_paths([SRC])
+        messages = [f"{f.path}:{f.line}: {f.rule}: {f.message}"
+                    for f in result.findings]
+        assert result.findings == [], "\n".join(messages)
+        assert result.errors == []
+        assert result.files_checked > 50  # the whole package was seen
+
+    def test_benchmarks_and_examples_are_clean(self):
+        result = lint_paths([REPO_ROOT / "benchmarks",
+                             REPO_ROOT / "examples"])
+        messages = [f"{f.path}:{f.line}: {f.rule}" for f in result.findings]
+        assert result.findings == [], "\n".join(messages)
+
+    def test_full_tree_clean_under_checked_in_baseline(self):
+        result = lint_paths(
+            [SRC, REPO_ROOT / "benchmarks", REPO_ROOT / "examples",
+             REPO_ROOT / "tests"],
+            baseline=load_baseline(BASELINE))
+        messages = [f"{f.path}:{f.line}: {f.rule}" for f in result.findings]
+        assert result.findings == [], "\n".join(messages)
+
+
+class TestViolationsAreCaught:
+    """Copy src/repro aside, break an invariant, watch the lint fail."""
+
+    def corrupt_and_lint(self, tmp_path, relative, mutate):
+        workdir = tmp_path / "src" / "repro"
+        shutil.copytree(SRC, workdir)
+        target = workdir / relative
+        target.write_text(mutate(target.read_text()))
+        return lint_paths([workdir])
+
+    def test_raw_open_in_bptree_fails_lint(self, tmp_path):
+        result = self.corrupt_and_lint(
+            tmp_path, Path("storage") / "bptree.py",
+            lambda text: text + "\n_FH = open('/tmp/leak.bin', 'wb')\n")
+        assert any(f.rule == "no-raw-io" for f in result.findings)
+        assert result.exit_code == 1
+
+    def test_unseeded_rng_in_dataset_generator_fails_lint(self, tmp_path):
+        result = self.corrupt_and_lint(
+            tmp_path, Path("datasets") / "dblp.py",
+            lambda text: text.replace("rng = random.Random(seed)",
+                                      "rng = random.Random()"))
+        assert any(f.rule == "seeded-rng" for f in result.findings)
+        assert result.exit_code == 1
+
+    def test_float_into_counter_fails_lint(self, tmp_path):
+        result = self.corrupt_and_lint(
+            tmp_path, Path("storage") / "pager.py",
+            lambda text: text.replace("self.stats.physical_reads += 1",
+                                      "self.stats.physical_reads += 1.0"))
+        assert any(f.rule == "stats-int-discipline"
+                   for f in result.findings)
+
+    def test_cli_exit_code_propagates(self, tmp_path, capsys):
+        workdir = tmp_path / "src" / "repro"
+        shutil.copytree(SRC, workdir)
+        bptree = workdir / "storage" / "bptree.py"
+        bptree.write_text(bptree.read_text()
+                          + "\n_FH = open('/tmp/leak.bin', 'wb')\n")
+        assert cli_main(["lint", str(workdir)]) == 1
+        capsys.readouterr()

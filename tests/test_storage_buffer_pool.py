@@ -3,6 +3,7 @@
 import pytest
 
 from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.errors import PageSizeError
 from repro.storage.pager import Pager
 
 
@@ -85,6 +86,45 @@ class TestDirtyTracking:
         with pytest.raises(KeyError):
             pool.mark_dirty(pid)
 
+    def test_mark_dirty_after_cold_clear_raises(self):
+        pool, _ = make_pool()
+        pid, _ = pool.new_page()
+        pool.flush_and_clear()
+        with pytest.raises(KeyError):
+            pool.mark_dirty(pid)
+
+
+class TestPutSizeValidation:
+    """A short ``put`` must never shrink the frame that gets flushed."""
+
+    def test_short_put_rejected(self):
+        pool, _ = make_pool(page_size=8)
+        pid, _ = pool.new_page()
+        with pytest.raises(PageSizeError):
+            pool.put(pid, b"\x05" * 3)
+
+    def test_oversized_put_rejected(self):
+        pool, _ = make_pool(page_size=8)
+        pid, _ = pool.new_page()
+        with pytest.raises(PageSizeError):
+            pool.put(pid, b"\x05" * 9)
+
+    def test_rejected_put_leaves_frame_intact(self):
+        pool, pager = make_pool(page_size=8)
+        pid, _ = pool.new_page()
+        pool.put(pid, b"\xaa" * 8)
+        with pytest.raises(PageSizeError):
+            pool.put(pid, b"\xbb" * 2)
+        pool.flush()
+        assert bytes(pager.read(pid)) == b"\xaa" * 8
+
+    def test_short_put_on_non_resident_page_rejected(self):
+        pool, pager = make_pool(page_size=8)
+        pid, _ = pool.new_page()
+        pool.flush_and_clear()
+        with pytest.raises(PageSizeError):
+            pool.put(pid, b"")
+
 
 class TestDecodedCache:
     def test_decoder_called_once_while_resident(self):
@@ -125,6 +165,32 @@ class TestDecodedCache:
         pool.get_decoded(pid, lambda p, f: "x")
         assert pager.stats.physical_reads == before + 1
 
+    def test_dirty_eviction_writes_back_and_drops_decoded(self):
+        # Evicting a *dirty* page must both persist the mutation and
+        # invalidate the memoized decoded object, or a later get_decoded
+        # would resurrect the pre-eviction view of the page.
+        pool, pager = make_pool(capacity=1, page_size=8)
+        pid, frame = pool.new_page()
+        frame[:] = b"\x07" * 8
+        pool.mark_dirty(pid)
+        pool.get_decoded(pid, lambda p, f: ("old", bytes(f)))
+        pool.new_page()  # evicts the dirty page
+        assert bytes(pager.read(pid)) == b"\x07" * 8
+        value = pool.get_decoded(pid, lambda p, f: ("new", bytes(f)))
+        assert value == ("new", b"\x07" * 8)
+
+
+class TestColdCache:
+    def test_flush_and_clear_next_get_is_physical(self):
+        pool, pager = make_pool()
+        pid, _ = pool.new_page()
+        pool.get(pid)  # resident, logical only
+        before = pager.stats.physical_reads
+        pool.flush_and_clear()
+        assert pool.cached_pages == 0
+        pool.get(pid)
+        assert pager.stats.physical_reads == before + 1
+
 
 class TestStatsDelta:
     def test_snapshot_delta(self):
@@ -145,3 +211,34 @@ class TestStatsDelta:
         pool.get(pid)
         pool.get(pid)
         assert pager.stats.hit_ratio == 0.5
+
+
+class TestHitRatio:
+    def test_no_traffic_returns_none(self):
+        pool, pager = make_pool()
+        assert pager.stats.hit_ratio is None
+
+    def test_direct_pager_traffic_clamps_to_zero(self):
+        # Reads issued straight through the pager (no logical read) used
+        # to drive the ratio negative.
+        pool, pager = make_pool()
+        pid, _ = pool.new_page()
+        pool.flush_and_clear()
+        pager.stats.reset()
+        pool.get(pid)          # 1 logical, 1 physical
+        pager.read(pid)        # direct: physical only
+        pager.read(pid)
+        assert pager.stats.hit_ratio == 0.0
+
+    def test_all_hits_is_one(self):
+        pool, pager = make_pool()
+        pid, _ = pool.new_page()
+        pool.flush()
+        pager.stats.reset()
+        pool.get(pid)  # still resident: logical hit, no physical read
+        assert pager.stats.hit_ratio == 1.0
+
+    def test_never_exceeds_one(self):
+        from repro.storage.stats import IOStats
+        stats = IOStats(logical_reads=4, physical_reads=0)
+        assert stats.hit_ratio == 1.0
