@@ -23,6 +23,8 @@ Quickstart::
     matches = index.query(parse_xpath('//inproceedings[./author="A. Turing"]'))
 """
 
+import os as _os
+
 from repro.prix.index import PrixIndex
 from repro.prix.matcher import TwigMatch
 from repro.query.xpath import parse_xpath
@@ -43,3 +45,10 @@ __all__ = [
 ]
 
 __version__ = "1.0.0"
+
+# PRIX_SANITIZE=1 turns on the runtime resource-protocol sanitizer for
+# the whole process (see repro.analysis.sanitizer) -- CI runs one test
+# shard this way so pin/flush discipline is asserted dynamically too.
+if _os.environ.get("PRIX_SANITIZE", "") not in ("", "0"):
+    from repro.analysis.sanitizer import enable as _enable_sanitizer
+    _enable_sanitizer()

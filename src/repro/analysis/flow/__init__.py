@@ -1,0 +1,47 @@
+"""Flow-sensitive analyses for prixlint (``prixflow``).
+
+The AST rules of :mod:`repro.analysis` check one statement at a time; the
+modules here add the path dimension:
+
+- :mod:`repro.analysis.flow.cfg` -- an intraprocedural control-flow graph
+  builder for Python functions (``try/except/finally``, ``with``, loops,
+  ``break``/``continue``, early ``return``/``raise``, exception edges),
+- :mod:`repro.analysis.flow.callgraph` -- a module-level call graph with
+  "returns a storage handle" summaries,
+- :mod:`repro.analysis.flow.engine` -- a worklist fixpoint engine over a
+  CFG,
+- :mod:`repro.analysis.flow.protocols` -- the resource-protocol model
+  (what acquires, dirties, releases and reads),
+- :mod:`repro.analysis.flow.rules` -- the four shipped flow rules:
+  ``pin-unpin-balance``, ``dirty-page-escape``,
+  ``stats-read-before-flush`` and ``close-on-all-paths``.
+"""
+
+from repro.analysis.flow.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.engine import FlowState, run_forward
+from repro.analysis.flow.rules import (CloseOnAllPathsRule,
+                                       DirtyPageEscapeRule,
+                                       PinUnpinBalanceRule,
+                                       StatsReadBeforeFlushRule)
+
+FLOW_RULES = (
+    PinUnpinBalanceRule,
+    DirtyPageEscapeRule,
+    StatsReadBeforeFlushRule,
+    CloseOnAllPathsRule,
+)
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "CloseOnAllPathsRule",
+    "DirtyPageEscapeRule",
+    "FLOW_RULES",
+    "FlowState",
+    "PinUnpinBalanceRule",
+    "StatsReadBeforeFlushRule",
+    "build_cfg",
+    "run_forward",
+]

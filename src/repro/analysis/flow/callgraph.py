@@ -1,0 +1,102 @@
+"""Module-level call graph with storage-handle return summaries.
+
+The flow rules treat ``pool = make_pool()`` as an acquisition when
+``make_pool`` is a function *in the same module* that returns a tracked
+handle.  This module computes that summary: a function "returns a handle"
+when some ``return`` statement returns a tracked-constructor expression,
+a name locally bound to one, or a call to another function already known
+to return one (closed under a fixpoint, so chains of factory helpers
+resolve).
+
+Resolution is by simple name -- good enough for one module, where helper
+factories are plain functions.  Attribute calls (methods on objects) are
+out of scope; classmethod constructors like ``Pager.open`` are matched
+directly by the protocol model instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class CallGraph:
+    """Functions of one module, who they call, and handle summaries.
+
+    ``handle_constructor`` is a predicate mapping an expression AST to a
+    truthy value when it directly constructs a tracked handle (the flow
+    rules pass :func:`repro.analysis.rules_io._tracked_constructor`).
+    """
+
+    def __init__(self, module, handle_constructor=None):
+        self._handle_constructor = handle_constructor or (lambda expr: None)
+        self._functions = {}
+        for node in ast.walk(module):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Last definition wins, mirroring runtime rebinding.
+                self._functions[node.name] = node
+        self._calls = {name: self._called_names(func)
+                       for name, func in self._functions.items()}
+        self._returning = self._summarize()
+
+    @property
+    def function_names(self):
+        """Names of every function and method defined in the module."""
+        return frozenset(self._functions)
+
+    def calls(self, name):
+        """Simple-name calls made anywhere inside function ``name``."""
+        return self._calls.get(name, frozenset())
+
+    def returns_handle(self, name):
+        """Whether calling ``name()`` can hand the caller a tracked
+        handle."""
+        return name in self._returning
+
+    @staticmethod
+    def _called_names(func):
+        names = set()
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name):
+                names.add(sub.func.id)
+        return frozenset(names)
+
+    def _summarize(self):
+        returning = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, func in self._functions.items():
+                if name in returning:
+                    continue
+                if self._function_returns_handle(func, returning):
+                    returning.add(name)
+                    changed = True
+        return returning
+
+    def _is_handle_expr(self, expr, returning):
+        if expr is None:
+            return False
+        if self._handle_constructor(expr):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in returning)
+
+    def _function_returns_handle(self, func, returning):
+        # Names locally bound to handle expressions.  The walk descends
+        # into nested functions too; that over-approximates, which for a
+        # may-summary only costs precision, never soundness.
+        bound = set()
+        for sub in ast.walk(func):
+            if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)
+                    and self._is_handle_expr(sub.value, returning)):
+                bound.add(sub.targets[0].id)
+        for sub in ast.walk(func):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                if self._is_handle_expr(sub.value, returning):
+                    return True
+                if (isinstance(sub.value, ast.Name)
+                        and sub.value.id in bound):
+                    return True
+        return False

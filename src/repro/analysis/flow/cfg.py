@@ -1,0 +1,405 @@
+"""Intraprocedural control-flow graphs for Python functions.
+
+:func:`build_cfg` turns one ``ast.FunctionDef`` body into a graph of
+:class:`CFGNode` objects with two kinds of edges:
+
+- **normal** edges (``node.succ``): sequential flow, branch arms, loop
+  back-edges,
+- an optional **exception** edge (``node.exc``): where control goes when
+  the statement raises, tagged with *why* the statement can raise
+  (``EXC_RAISE`` for an explicit ``raise``, ``EXC_ASSERT`` for an
+  ``assert``, ``EXC_CALL`` for any statement containing a call).
+  Analyses choose which reasons they consider live, so a strict rule can
+  treat every call as throwing while a lenient one follows only explicit
+  ``raise`` statements.
+
+``try/except/else/finally`` and ``with`` are modelled precisely by
+*inlining* the cleanup body once per way of leaving the protected region
+(normal completion, exception, ``return``, ``break``, ``continue``), so a
+``return`` inside ``try`` still flows through the ``finally`` copy before
+reaching the function exit.  The same AST statement may therefore back
+several CFG nodes; findings anchored at AST nodes deduplicate naturally.
+
+Functions have three distinguished synthetic nodes: ``entry``, ``exit``
+(every normal return and the fall-off-the-end path reach it) and
+``raise_exit`` (exceptions that escape the function).
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Exception-edge reasons, from most to least explicit.
+EXC_RAISE = "raise"    # an explicit `raise` statement
+EXC_ASSERT = "assert"  # an `assert` that can fail
+EXC_CALL = "call"      # the statement contains at least one call
+
+#: Statement types never descended into (their bodies are separate scopes).
+_SCOPE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class CFGNode:
+    """One node of the graph: a statement, or a synthetic control point."""
+
+    __slots__ = ("index", "kind", "stmt", "item", "succ", "exc")
+
+    def __init__(self, index, kind, stmt=None, item=None):
+        self.index = index
+        self.kind = kind      # "stmt", "entry", "exit", "raise-exit", ...
+        self.stmt = stmt      # backing AST node (None for entry/exit/nop)
+        self.item = item      # ast.withitem for "with-exit" release nodes
+        self.succ = []        # normal successors
+        self.exc = None       # (CFGNode, reason) or None
+
+    @property
+    def line(self):
+        return getattr(self.stmt, "lineno", 0)
+
+    def successors(self, live_reasons):
+        """Normal successors plus the exception edge when its reason is
+        in ``live_reasons``."""
+        if self.exc is not None and self.exc[1] in live_reasons:
+            return self.succ + [self.exc[0]]
+        return self.succ
+
+    def __repr__(self):
+        where = f" line {self.line}" if self.stmt is not None else ""
+        return f"<CFGNode {self.index} {self.kind}{where}>"
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, func):
+        self.func = func
+        self.nodes = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self.raise_exit = self._new("raise-exit")
+
+    def _new(self, kind, stmt=None, item=None):
+        node = CFGNode(len(self.nodes), kind, stmt=stmt, item=item)
+        self.nodes.append(node)
+        return node
+
+    @property
+    def exit_nodes(self):
+        """The two terminal nodes: (normal exit, exception escape)."""
+        return (self.exit, self.raise_exit)
+
+
+class _Ctx:
+    """Where `raise`, `return`, `break` and `continue` go from here.
+
+    Each slot is a zero-argument callable returning the target node;
+    lazily invoked so cleanup copies are only built for exits that occur.
+    """
+
+    __slots__ = ("exc", "ret", "brk", "cont")
+
+    def __init__(self, exc, ret, brk=None, cont=None):
+        self.exc = exc
+        self.ret = ret
+        self.brk = brk
+        self.cont = cont
+
+    def replaced(self, **slots):
+        return _Ctx(slots.get("exc", self.exc), slots.get("ret", self.ret),
+                    slots.get("brk", self.brk), slots.get("cont", self.cont))
+
+
+class _CleanupFrame:
+    """Routes every way of leaving a region through a cleanup body.
+
+    ``build`` is called once per leave-kind actually used and must return
+    ``(entry, ends)`` for a *fresh* copy of the cleanup; the frame
+    connects the copy's ends to the outer continuation of that kind.
+    """
+
+    def __init__(self, cfg, build, outer):
+        self._cfg = cfg
+        self._build = build
+        self._outer = outer
+        self._memo = {}
+
+    def _target(self, kind):
+        if kind not in self._memo:
+            outer_fn = getattr(self._outer, kind)
+            entry, ends = self._build()
+            for end in ends:
+                end.succ.append(outer_fn())
+            self._memo[kind] = entry if entry is not None else outer_fn()
+        return self._memo[kind]
+
+    def wrap(self, ctx):
+        """The context seen by statements inside the protected region."""
+        return _Ctx(
+            exc=lambda: self._target("exc"),
+            ret=lambda: self._target("ret"),
+            brk=(lambda: self._target("brk")) if ctx.brk else None,
+            cont=(lambda: self._target("cont")) if ctx.cont else None,
+        )
+
+    def normal_copy(self):
+        """A cleanup copy for normal completion; returns (entry, ends)."""
+        return self._build()
+
+
+def _raise_reason(stmt):
+    """Why this statement can raise, or None when it cannot."""
+    if isinstance(stmt, ast.Raise):
+        return EXC_RAISE
+    if isinstance(stmt, ast.Assert):
+        return EXC_ASSERT
+    for sub in ast.walk(stmt):
+        if isinstance(sub, _SCOPE_STMTS + (ast.Lambda,)):
+            continue
+        if isinstance(sub, ast.Call):
+            return EXC_CALL
+    return None
+
+
+def _expr_reason(expr):
+    """Exception reason for evaluating one expression (tests, iterables)."""
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call):
+            return EXC_CALL
+    return None
+
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _handlers_are_exhaustive(handlers):
+    """True when the handler list catches everything that matters."""
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        names = [handler.type]
+        if isinstance(handler.type, ast.Tuple):
+            names = list(handler.type.elts)
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in _BROAD_EXCEPTIONS:
+                return True
+    return False
+
+
+class _Builder:
+    def __init__(self, func):
+        self.cfg = CFG(func)
+
+    def build(self):
+        cfg = self.cfg
+        ctx = _Ctx(exc=lambda: cfg.raise_exit, ret=lambda: cfg.exit)
+        entry, ends = self._seq(self.cfg.func.body, ctx)
+        cfg.entry.succ.append(entry if entry is not None else cfg.exit)
+        for end in ends:
+            end.succ.append(cfg.exit)
+        return cfg
+
+    # ------------------------------------------------------------------
+    # Sequencing
+    # ------------------------------------------------------------------
+
+    def _seq(self, stmts, ctx):
+        """Build a statement list; returns (entry | None, open ends).
+
+        ``entry is None`` means the list was empty (pure pass-through).
+        An empty ends list after a non-empty build means every path left
+        through return/raise/break/continue.
+        """
+        entry = None
+        pending = None
+        for stmt in stmts:
+            first, outs = self._stmt(stmt, ctx)
+            if entry is None:
+                entry = first
+            if pending is not None:
+                for end in pending:
+                    end.succ.append(first)
+            pending = outs
+            if not outs:
+                # Terminator: the remaining statements are unreachable.
+                return entry, []
+        return entry, (pending if pending is not None else [])
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _stmt(self, stmt, ctx):
+        """Build one statement; returns (entry node, open ends)."""
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, ctx)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, stmt.items, ctx)
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar")
+                                         and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, ctx)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._match(stmt, ctx)
+        if isinstance(stmt, ast.Return):
+            node = self.cfg._new("return", stmt)
+            node.succ.append(ctx.ret())
+            return node, []
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg._new("raise", stmt)
+            node.exc = (ctx.exc(), EXC_RAISE)
+            return node, []
+        if isinstance(stmt, ast.Break):
+            node = self.cfg._new("break", stmt)
+            node.succ.append(ctx.brk() if ctx.brk else ctx.ret())
+            return node, []
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg._new("continue", stmt)
+            node.succ.append(ctx.cont() if ctx.cont else ctx.ret())
+            return node, []
+        # Simple statement (including nested def/class, not descended).
+        node = self.cfg._new("stmt", stmt)
+        reason = None if isinstance(stmt, _SCOPE_STMTS) else \
+            _raise_reason(stmt)
+        if reason is not None:
+            node.exc = (ctx.exc(), reason)
+        return node, [node]
+
+    def _if(self, stmt, ctx):
+        branch = self.cfg._new("branch", stmt)
+        reason = _expr_reason(stmt.test)
+        if reason is not None:
+            branch.exc = (ctx.exc(), reason)
+        ends = []
+        body_entry, body_ends = self._seq(stmt.body, ctx)
+        branch.succ.append(body_entry if body_entry is not None else branch)
+        if body_entry is None:
+            ends.append(branch)
+        ends.extend(body_ends)
+        if stmt.orelse:
+            else_entry, else_ends = self._seq(stmt.orelse, ctx)
+            if else_entry is not None:
+                branch.succ.append(else_entry)
+                ends.extend(else_ends)
+            else:
+                ends.append(branch)
+        else:
+            ends.append(branch)
+        return branch, ends
+
+    def _loop(self, stmt, ctx):
+        head = self.cfg._new("loop-head", stmt)
+        test = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        reason = _expr_reason(test)
+        if reason is not None:
+            head.exc = (ctx.exc(), reason)
+        after = self.cfg._new("loop-exit", stmt)
+        body_ctx = ctx.replaced(brk=lambda: after, cont=lambda: head)
+        body_entry, body_ends = self._seq(stmt.body, body_ctx)
+        head.succ.append(body_entry if body_entry is not None else head)
+        for end in body_ends:
+            end.succ.append(head)
+        if stmt.orelse:
+            else_entry, else_ends = self._seq(stmt.orelse, ctx)
+            head.succ.append(else_entry if else_entry is not None else after)
+            for end in else_ends:
+                end.succ.append(after)
+        else:
+            head.succ.append(after)
+        return head, [after]
+
+    def _with(self, stmt, items, ctx):
+        """One ``with`` item: enter node + release-on-every-exit frame."""
+        item = items[0]
+        enter = self.cfg._new("with-enter", stmt, item=item)
+        reason = _expr_reason(item.context_expr)
+        if reason is not None:
+            enter.exc = (ctx.exc(), reason)
+
+        def build_release():
+            node = self.cfg._new("with-exit", stmt, item=item)
+            return node, [node]
+
+        frame = _CleanupFrame(self.cfg, build_release, ctx)
+        inner_ctx = frame.wrap(ctx)
+        if len(items) > 1:
+            body_entry, body_ends = self._with(stmt, items[1:], inner_ctx)
+        else:
+            body_entry, body_ends = self._seq(stmt.body, inner_ctx)
+        release_entry, release_ends = frame.normal_copy()
+        if body_entry is None:
+            enter.succ.append(release_entry)
+        else:
+            enter.succ.append(body_entry)
+            for end in body_ends:
+                end.succ.append(release_entry)
+        return enter, release_ends
+
+    def _try(self, stmt, ctx):
+        if stmt.finalbody:
+            frame = _CleanupFrame(
+                self.cfg, lambda: self._seq(stmt.finalbody, ctx), ctx)
+            inner_ctx = frame.wrap(ctx)
+        else:
+            frame = None
+            inner_ctx = ctx
+
+        handler_ends = []
+        if stmt.handlers:
+            dispatch = self.cfg._new("except-dispatch", stmt)
+            for handler in stmt.handlers:
+                h_node = self.cfg._new("except", handler)
+                dispatch.succ.append(h_node)
+                h_entry, h_ends = self._seq(handler.body, inner_ctx)
+                if h_entry is not None:
+                    h_node.succ.append(h_entry)
+                    handler_ends.extend(h_ends)
+                else:
+                    handler_ends.append(h_node)
+            if not _handlers_are_exhaustive(stmt.handlers):
+                dispatch.succ.append(inner_ctx.exc())
+            body_ctx = inner_ctx.replaced(exc=lambda: dispatch)
+        else:
+            body_ctx = inner_ctx
+
+        body_entry, body_ends = self._seq(stmt.body, body_ctx)
+        if stmt.orelse:
+            else_entry, else_ends = self._seq(stmt.orelse, inner_ctx)
+            if else_entry is not None:
+                for end in body_ends:
+                    end.succ.append(else_entry)
+                body_ends = else_ends
+
+        pre_ends = body_ends + handler_ends
+        if frame is not None:
+            normal_entry, normal_ends = frame.normal_copy()
+            if normal_entry is None:
+                ends = pre_ends
+            else:
+                for end in pre_ends:
+                    end.succ.append(normal_entry)
+                ends = normal_ends
+        else:
+            ends = pre_ends
+
+        # Python grammar guarantees a non-empty try body, so body_entry is
+        # always a real node.
+        return body_entry, ends
+
+    def _match(self, stmt, ctx):
+        branch = self.cfg._new("branch", stmt)
+        reason = _expr_reason(stmt.subject)
+        if reason is not None:
+            branch.exc = (ctx.exc(), reason)
+        ends = [branch]  # no case may match: fall through
+        for case in stmt.cases:
+            case_entry, case_ends = self._seq(case.body, ctx)
+            if case_entry is not None:
+                branch.succ.append(case_entry)
+                ends.extend(case_ends)
+        return branch, ends
+
+
+def build_cfg(func):
+    """Build the :class:`CFG` of one ``ast.FunctionDef`` /
+    ``AsyncFunctionDef``."""
+    return _Builder(func).build()

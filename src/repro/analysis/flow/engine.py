@@ -1,0 +1,78 @@
+"""Forward worklist fixpoint engine over a :class:`~.cfg.CFG`.
+
+The engine runs a *may* analysis: the abstract state is a frozenset of
+rule-defined tokens, states merge by union, and a rule's transfer
+function must be monotone (gen/kill sets per node).  Exception edges
+propagate the node's **pre**-state -- when a statement raises, its own
+effects may not have happened -- while normal edges carry the
+post-state.  Which exception edges are followed is the rule's choice via
+``live_reasons`` (see the ``EXC_*`` constants in :mod:`~.cfg`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FlowState:
+    """The fixpoint: the set of tokens flowing *into* every reached node.
+
+    Nodes never reached from the entry under the chosen ``live_reasons``
+    have no entry; :meth:`before` returns an empty set for them.
+    """
+
+    def __init__(self, in_states):
+        self._in_states = in_states
+
+    def before(self, node):
+        """Tokens live immediately before ``node`` executes."""
+        return self._in_states.get(node, frozenset())
+
+    def reached(self, node):
+        """Whether any path under the chosen edge policy reaches ``node``."""
+        return node in self._in_states
+
+
+def run_forward(cfg, transfer, live_reasons, initial=frozenset(),
+                transfer_exc=None):
+    """Run ``transfer`` to fixpoint over ``cfg``; return a
+    :class:`FlowState`.
+
+    ``transfer(node, state)`` returns the post-state of executing ``node``
+    with ``state`` flowing in.  ``live_reasons`` selects which exception
+    edges are considered feasible.  ``transfer_exc(node, state)``, when
+    given, computes what flows along the node's exception edge instead of
+    the raw pre-state -- rules use it to apply a statement's *kills* but
+    not its *gens* (a ``pool.unpin(p)`` that raises is still assumed to
+    have released the pin, while a ``pool.pin(p)`` that raises never
+    acquired one).
+    """
+    in_states = {cfg.entry: frozenset(initial)}
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+
+    def propagate(target, tokens):
+        known = in_states.get(target)
+        if known is None:
+            in_states[target] = frozenset(tokens)
+        elif tokens <= known:
+            return
+        else:
+            in_states[target] = known | tokens
+        if target not in queued:
+            queued.add(target)
+            worklist.append(target)
+
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        state = in_states[node]
+        out = transfer(node, state)
+        for succ in node.succ:
+            propagate(succ, out)
+        if node.exc is not None and node.exc[1] in live_reasons:
+            flowing = (state if transfer_exc is None
+                       else transfer_exc(node, state))
+            propagate(node.exc[0], flowing)
+
+    return FlowState(in_states)

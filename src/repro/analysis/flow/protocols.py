@@ -1,0 +1,329 @@
+"""The resource-protocol model: what acquires, dirties, releases, reads.
+
+This module translates CFG nodes into abstract :class:`Event` streams the
+flow rules consume, so all four rules agree on what
+"``pool.flush()`` means".  The protocol mirrors the storage layer:
+
+- **acquire**: binding a local name to a tracked handle
+  (``Pager``/``BufferPool``/``PrixIndex`` constructors, their classmethod
+  constructors such as ``Pager.open``, or a same-module factory the call
+  graph says returns a handle),
+- **dirty**: operations that leave unflushed pages behind
+  (``put``/``mark_dirty``/``new_page`` on a pool,
+  ``insert_document``/``delete_document`` on an index),
+- **clean**: operations that force pages to disk (``flush``, ``save``,
+  ``flush_cache``; ``close``/``flush_and_clear`` both clean and release),
+- **release**: ``close()``/``flush_and_clear()`` on the handle, or the
+  ``with``-exit of a context-managed handle,
+- **escape**: the handle leaves local scope (returned/yielded, passed as
+  a call argument, stored into an attribute or container, aliased,
+  rebound, deleted) -- ownership moves where the intraprocedural rules
+  cannot follow, so tracking stops,
+- **pin** / **unpin**: ``X.pin(page)`` / ``X.unpin(page)`` keyed on the
+  *source text* of receiver and argument, so ``self._pool.pin(pid)`` is
+  balanced by ``self._pool.unpin(pid)`` regardless of where either lives,
+- **stats-read** / **stats-alias**: reading an ``IOStats`` counter
+  (``h.stats.physical_reads``, ``h.stats.snapshot()``) or binding
+  ``s = h.stats`` for later reads.
+
+Only the *header* expression of a compound statement is examined for its
+CFG node (the test of an ``if``, the iterable of a ``for``); body
+statements have their own nodes, so nothing is double-counted.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules_io import TRACKED_HANDLES, _tracked_constructor
+
+#: Methods that both flush and end the handle's lifetime.
+RELEASE_METHODS = frozenset({"close", "flush_and_clear"})
+
+#: Methods that force dirty pages to disk without ending the lifetime.
+CLEAN_METHODS = frozenset({"flush", "save", "flush_cache"})
+
+#: Methods that leave unflushed pages behind.
+DIRTY_METHODS = frozenset({"put", "mark_dirty", "new_page",
+                           "insert_document", "delete_document"})
+
+#: IOStats counter attributes (plus the derived ``hit_ratio`` property).
+STAT_FIELDS = frozenset({"physical_reads", "physical_writes",
+                         "logical_reads", "evictions", "allocations",
+                         "hit_ratio"})
+
+#: IOStats methods whose result captures the counters.
+STAT_READ_METHODS = frozenset({"snapshot", "delta"})
+
+#: Statement types that open a new scope; never descended into.
+_SCOPE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class Event:
+    """One abstract protocol action extracted from a CFG node."""
+
+    __slots__ = ("kind", "name", "key", "line", "col")
+
+    def __init__(self, kind, name=None, key=None, line=0, col=0):
+        self.kind = kind
+        self.name = name
+        self.key = key
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return (f"<Event {self.kind} name={self.name!r} key={self.key!r} "
+                f"line {self.line}>")
+
+
+def _names_within(node):
+    if node is None:
+        return
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+def _src(expr):
+    """Normalized source text of an expression, for pin/unpin keying."""
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse covers all exprs
+        return repr(expr)
+
+
+class ProtocolExtractor:
+    """Maps CFG nodes of one module to protocol events.
+
+    ``callgraph`` (a :class:`~.callgraph.CallGraph` or None) upgrades
+    calls to same-module handle factories into acquisitions.
+    """
+
+    def __init__(self, callgraph=None):
+        self._callgraph = callgraph
+
+    # ------------------------------------------------------------------
+    # Node dispatch
+    # ------------------------------------------------------------------
+
+    def events_for(self, node):
+        """Events performed by one CFG node, in program order."""
+        kind, stmt = node.kind, node.stmt
+        if kind == "stmt":
+            if isinstance(stmt, _SCOPE_STMTS):
+                return []
+            return self._simple_stmt(stmt)
+        if kind == "branch":
+            header = (stmt.subject if hasattr(ast, "Match")
+                      and isinstance(stmt, ast.Match) else stmt.test)
+            return self._expr_events(header)
+        if kind == "loop-head":
+            if isinstance(stmt, ast.While):
+                return self._expr_events(stmt.test)
+            events = self._expr_events(stmt.iter)
+            # The loop target is rebound each iteration.
+            events.extend(self._rebind(name, stmt)
+                          for name in _names_within(stmt.target))
+            return events
+        if kind == "return":
+            events = self._expr_events(stmt.value)
+            events.extend(Event("escape", name=name, line=stmt.lineno)
+                          for name in _names_within(stmt.value))
+            return events
+        if kind == "raise":
+            events = self._expr_events(stmt.exc)
+            events.extend(self._expr_events(stmt.cause))
+            return events
+        if kind == "with-enter":
+            return self._with_enter(stmt, node.item)
+        if kind == "with-exit":
+            return self._with_exit(node.item)
+        # entry/exit/raise-exit/loop-exit/except/except-dispatch: silent.
+        return []
+
+    # ------------------------------------------------------------------
+    # Statement forms
+    # ------------------------------------------------------------------
+
+    def _simple_stmt(self, stmt):
+        if isinstance(stmt, ast.Assign):
+            return self._assign(stmt.targets, stmt.value, stmt)
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return []
+            return self._assign([stmt.target], stmt.value, stmt)
+        if isinstance(stmt, ast.AugAssign):
+            return self._expr_events(stmt.value)
+        if isinstance(stmt, ast.Delete):
+            return [Event("escape", name=name, line=stmt.lineno)
+                    for target in stmt.targets
+                    for name in _names_within(target)
+                    if isinstance(target, ast.Name)]
+        if isinstance(stmt, ast.Expr):
+            return self._expr_events(stmt.value)
+        if isinstance(stmt, ast.Assert):
+            events = self._expr_events(stmt.test)
+            events.extend(self._expr_events(stmt.msg))
+            return events
+        # Import/Pass/Global/Nonlocal/Break/Continue carry no events.
+        return []
+
+    def _assign(self, targets, value, stmt):
+        events = self._expr_events(value)
+        single_name = (len(targets) == 1
+                       and isinstance(targets[0], ast.Name))
+        if single_name:
+            target = targets[0].id
+            cls = _tracked_constructor(value)
+            factory = (self._callgraph is not None
+                       and isinstance(value, ast.Call)
+                       and isinstance(value.func, ast.Name)
+                       and self._callgraph.returns_handle(value.func.id))
+            if cls is not None or factory:
+                # Rebinding drops whatever the name held before.
+                events.append(self._rebind(target, stmt))
+                events.append(Event("acquire", name=target, key=cls,
+                                    line=stmt.lineno,
+                                    col=stmt.col_offset))
+            elif isinstance(value, ast.Name):
+                # Aliasing: both names now reach the object; stop
+                # tracking the source, rebind the target.
+                events.append(Event("escape", name=value.id,
+                                    line=stmt.lineno))
+                events.append(self._rebind(target, stmt))
+            elif (isinstance(value, ast.Attribute) and value.attr == "stats"
+                    and isinstance(value.value, ast.Name)):
+                events.append(self._rebind(target, stmt))
+                events.append(Event("stats-alias", name=target,
+                                    key=value.value.id,
+                                    line=stmt.lineno))
+            else:
+                events.append(self._rebind(target, stmt))
+        else:
+            # Tuple unpacking rebinds each plain name; storing into an
+            # attribute or container hands the value off.
+            stored = False
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    stored = True
+                for sub in ast.walk(target):
+                    if (isinstance(sub, ast.Name)
+                            and isinstance(sub.ctx, ast.Store)):
+                        events.append(self._rebind(sub.id, stmt))
+            if stored:
+                events.extend(Event("escape", name=name, line=stmt.lineno)
+                              for name in _names_within(value))
+        return events
+
+    @staticmethod
+    def _rebind(name, stmt):
+        return Event("escape", name=name, line=stmt.lineno)
+
+    def _with_enter(self, stmt, item):
+        events = self._expr_events(item.context_expr)
+        cls = _tracked_constructor(item.context_expr)
+        if cls is not None and isinstance(item.optional_vars, ast.Name):
+            name = item.optional_vars.id
+            events.append(self._rebind(name, stmt))
+            events.append(Event("acquire", name=name, key=cls,
+                                line=stmt.lineno, col=stmt.col_offset))
+        elif item.optional_vars is not None:
+            events.extend(self._rebind(name, stmt)
+                          for name in _names_within(item.optional_vars))
+        return events
+
+    @staticmethod
+    def _with_exit(item):
+        if (item is not None
+                and isinstance(item.optional_vars, ast.Name)
+                and _tracked_constructor(item.context_expr) is not None):
+            name = item.optional_vars.id
+            line = item.context_expr.lineno
+            return [Event("clean", name=name, line=line),
+                    Event("release", name=name, line=line)]
+        return []
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _expr_events(self, expr):
+        if expr is None:
+            return []
+        events = []
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                events.extend(self._call_events(sub))
+            elif isinstance(sub, ast.Attribute):
+                events.extend(self._attr_read_events(sub))
+            elif isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                events.extend(Event("escape", name=name,
+                                    line=sub.lineno)
+                              for name in _names_within(sub.value))
+        return events
+
+    def _call_events(self, call):
+        events = []
+        func = call.func
+        line = call.lineno
+        col = call.col_offset
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            attr = func.attr
+            if attr == "pin":
+                events.append(Event("pin", key=self._pin_key(call),
+                                    line=line, col=col))
+            elif attr == "unpin":
+                events.append(Event("unpin", key=self._pin_key(call),
+                                    line=line, col=col))
+            elif isinstance(receiver, ast.Name):
+                name = receiver.id
+                if attr in RELEASE_METHODS:
+                    events.append(Event("clean", name=name, line=line))
+                    events.append(Event("release", name=name, line=line))
+                elif attr in CLEAN_METHODS:
+                    events.append(Event("clean", name=name, line=line))
+                elif attr in DIRTY_METHODS:
+                    events.append(Event("dirty", name=name, line=line,
+                                        col=col))
+            if attr in STAT_READ_METHODS:
+                events.extend(self._stats_receiver(receiver, line, col))
+        # Any handle passed as an argument escapes local tracking.
+        args = list(call.args) + [kw.value for kw in call.keywords]
+        for arg in args:
+            events.extend(Event("escape", name=name, line=line)
+                          for name in _names_within(arg))
+        return events
+
+    def _attr_read_events(self, attribute):
+        if attribute.attr not in STAT_FIELDS:
+            return []
+        return self._stats_receiver(attribute.value, attribute.lineno,
+                                    attribute.col_offset)
+
+    @staticmethod
+    def _stats_receiver(receiver, line, col):
+        """Stats-read events for ``<receiver>.counter`` /
+        ``<receiver>.snapshot()``."""
+        if (isinstance(receiver, ast.Attribute) and receiver.attr == "stats"
+                and isinstance(receiver.value, ast.Name)):
+            return [Event("stats-read", name=receiver.value.id,
+                          key="direct", line=line, col=col)]
+        if isinstance(receiver, ast.Name):
+            # Possibly an ``s = pool.stats`` alias; the rule resolves it
+            # against the flow state and ignores unrelated names.
+            return [Event("stats-read", name=receiver.id, key="alias",
+                          line=line, col=col)]
+        return []
+
+    @staticmethod
+    def _pin_key(call):
+        """(receiver source, first-argument source) identifying a pin."""
+        receiver = _src(call.func.value)
+        arg = _src(call.args[0]) if call.args else ""
+        return (receiver, arg)
+
+
+def tracked_classes():
+    """The handle classes the protocol tracks (re-exported for rules)."""
+    return TRACKED_HANDLES

@@ -1,0 +1,297 @@
+"""The four flow-sensitive prixlint rules (``prixflow``).
+
+All four share one per-file model -- a CFG plus protocol events per
+function, built lazily and cached on the :class:`SourceFile` -- and run
+the worklist engine with rule-specific transfer functions:
+
+- ``pin-unpin-balance``: a ``pool.pin(page)`` must be matched by
+  ``pool.unpin(page)`` on **every** outgoing path, exception paths
+  included (strict: any call can raise).  Unbalanced pins permanently
+  shrink the evictable pool and eventually raise
+  ``BufferPoolExhaustedError``.
+- ``dirty-page-escape``: a locally acquired handle that is dirtied
+  (``put``/``mark_dirty``/``new_page``/``insert_document``/...) must not
+  reach a ``return`` still dirty on some path when other paths do flush;
+  the benchmark would measure a file that was never written.
+- ``stats-read-before-flush``: reading ``IOStats`` counters
+  (``pool.stats.physical_reads``, ``stats.snapshot()``) while a locally
+  acquired handle has unflushed dirty pages reports I/O that has not
+  happened yet.
+- ``close-on-all-paths``: a handle that is ``close()``d on some path
+  must be closed on all normal paths -- closing only in the happy branch
+  is the classic early-return leak.
+
+The last three follow only explicit ``raise`` exception edges (lenient);
+cleanup obligations on arbitrary call-raises are the sanitizer's job.
+``close-on-all-paths`` and ``dirty-page-escape`` deliberately stay quiet
+when the function never releases/flushes at all -- that is the
+flow-insensitive ``resource-safety`` rule's finding, not a path bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from types import SimpleNamespace
+
+from repro.analysis.core import Rule
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.cfg import (EXC_ASSERT, EXC_CALL, EXC_RAISE,
+                                     build_cfg)
+from repro.analysis.flow.engine import run_forward
+from repro.analysis.flow.protocols import ProtocolExtractor
+from repro.analysis.rules_io import _tracked_constructor
+
+#: Exception-edge policies (see cfg.EXC_*).
+STRICT_REASONS = frozenset({EXC_RAISE, EXC_ASSERT, EXC_CALL})
+LENIENT_REASONS = frozenset({EXC_RAISE})
+
+
+class _FunctionModel:
+    """One function's CFG plus the protocol events of every node."""
+
+    __slots__ = ("func", "cfg", "events")
+
+    def __init__(self, func, cfg, events):
+        self.func = func
+        self.cfg = cfg
+        self.events = events
+
+
+def _module_model(source):
+    """Build (once per file) the flow model shared by all four rules."""
+    cached = getattr(source, "_prixflow_model", None)
+    if cached is not None:
+        return cached
+    callgraph = CallGraph(source.tree, _tracked_constructor)
+    extractor = ProtocolExtractor(callgraph)
+    functions = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cfg = build_cfg(node)
+            events = {cfg_node: extractor.events_for(cfg_node)
+                      for cfg_node in cfg.nodes}
+            functions.append(_FunctionModel(node, cfg, events))
+    model = SimpleNamespace(callgraph=callgraph, functions=functions)
+    source._prixflow_model = model
+    return model
+
+
+class FlowRule(Rule):
+    """Base for rules that analyse one function's CFG at a time."""
+
+    live_reasons = LENIENT_REASONS
+
+    def run(self, source):
+        self.source = source
+        self.findings = []
+        # Cleanup inlining copies AST statements into several CFG nodes;
+        # identical findings from the copies collapse here.
+        self._reported = set()
+        for model in _module_model(source).functions:
+            self._check_function(model)
+        return self.findings
+
+    def report_at(self, line, col, message):
+        key = (line, message)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.report(SimpleNamespace(lineno=line, col_offset=col), message)
+
+    def _check_function(self, model):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _apply(self, events, state, gen):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _solve(self, model):
+        """Run this rule's transfer to fixpoint over one function.
+
+        Normal edges see the full gen/kill transfer; exception edges see
+        kills only -- a release that raises is still assumed to have
+        released, while an acquire that raises never acquired.
+        """
+        events = model.events
+
+        def transfer(node, state):
+            return self._apply(events[node], state, gen=True)
+
+        def transfer_exc(node, state):
+            return self._apply(events[node], state, gen=False)
+
+        return run_forward(model.cfg, transfer, self.live_reasons,
+                           transfer_exc=transfer_exc)
+
+    @staticmethod
+    def _events_with(model, *kinds):
+        for node_events in model.events.values():
+            for event in node_events:
+                if event.kind in kinds:
+                    yield event
+
+
+class PinUnpinBalanceRule(FlowRule):
+    """Every ``pin`` must reach a matching ``unpin`` on every path."""
+
+    name = "pin-unpin-balance"
+    description = ("BufferPool.pin() not matched by unpin() on every "
+                   "path (exception paths included) shrinks the "
+                   "evictable pool for good")
+    live_reasons = STRICT_REASONS
+
+    def _apply(self, events, state, gen):
+        for event in events:
+            if event.kind == "pin" and gen:
+                state = state | {(event.key, event.line, event.col)}
+            elif event.kind == "unpin":
+                state = frozenset(token for token in state
+                                  if token[0] != event.key)
+        return state
+
+    def _check_function(self, model):
+        if not any(True for _ in self._events_with(model, "pin")):
+            return
+        flow = self._solve(model)
+        normal_exit, raise_exit = model.cfg.exit_nodes
+        leaks = flow.before(normal_exit) | flow.before(raise_exit)
+        for key, line, col in sorted(leaks, key=lambda t: (t[1], t[2])):
+            receiver, page = key
+            self.report_at(line, col, (
+                f"pin of {page or 'page'} on {receiver} is not released "
+                "by unpin() on every path out of the function "
+                "(exception paths count); use the pinned() context "
+                "manager"))
+
+
+class DirtyPageEscapeRule(FlowRule):
+    """No path may return with pages dirtied here still unflushed."""
+
+    name = "dirty-page-escape"
+    description = ("a locally acquired handle is dirtied and can reach "
+                   "a return without flush()/close() on some path")
+
+    def _apply(self, events, state, gen):
+        for event in events:
+            if event.kind == "acquire" and gen:
+                state = frozenset(t for t in state if t[1] != event.name)
+                state = state | {("h", event.name)}
+            elif event.kind == "dirty" and gen:
+                if ("h", event.name) in state:
+                    state = state | {("d", event.name, event.line,
+                                      event.col)}
+            elif event.kind == "clean":
+                state = frozenset(t for t in state
+                                  if not (t[0] == "d"
+                                          and t[1] == event.name))
+            elif event.kind in ("release", "escape"):
+                state = frozenset(t for t in state if t[1] != event.name)
+        return state
+
+    def _check_function(self, model):
+        cleaned_names = {event.name for event in
+                         self._events_with(model, "clean")}
+        if not cleaned_names:
+            return
+        flow = self._solve(model)
+        exit_state = flow.before(model.cfg.exit)
+        dirty = sorted((t for t in exit_state if t[0] == "d"),
+                       key=lambda t: (t[2], t[3]))
+        for _, name, line, col in dirty:
+            if name in cleaned_names:
+                self.report_at(line, col, (
+                    f"pages dirtied via {name!r} here can reach a "
+                    "return without flush()/close() on some path; "
+                    "route every exit through the flush"))
+
+
+class StatsReadBeforeFlushRule(FlowRule):
+    """IOStats must not be read while dirty pages are unflushed."""
+
+    name = "stats-read-before-flush"
+    description = ("IOStats counters read while a locally acquired "
+                   "handle still has unflushed dirty pages")
+
+    def _apply(self, events, state, gen):
+        for event in events:
+            if event.kind == "acquire" and gen:
+                state = frozenset(t for t in state if t[1] != event.name)
+                state = state | {("h", event.name)}
+            elif event.kind == "dirty" and gen:
+                if ("h", event.name) in state:
+                    state = state | {("d", event.name)}
+            elif event.kind == "clean":
+                state = frozenset(t for t in state
+                                  if not (t[0] == "d"
+                                          and t[1] == event.name))
+            elif event.kind in ("release", "escape"):
+                state = frozenset(t for t in state if t[1] != event.name)
+            elif event.kind == "stats-alias" and gen:
+                state = frozenset(t for t in state
+                                  if not (t[0] == "a"
+                                          and t[1] == event.name))
+                if ("h", event.key) in state:
+                    state = state | {("a", event.name, event.key)}
+        return state
+
+    def _check_function(self, model):
+        if not any(True for _ in self._events_with(model, "stats-read")):
+            return
+        flow = self._solve(model)
+        for node, node_events in model.events.items():
+            if not flow.reached(node):
+                continue
+            before = flow.before(node)
+            for event in node_events:
+                if event.kind != "stats-read":
+                    continue
+                handle = self._resolve(event, before)
+                if handle is None:
+                    continue
+                if ("d", handle) in before:
+                    self.report_at(event.line, event.col, (
+                        f"IOStats read while {handle!r} has unflushed "
+                        "dirty pages; flush() first so the counters "
+                        "match what is on disk"))
+
+    @staticmethod
+    def _resolve(event, state):
+        """The tracked handle behind a stats-read, or None."""
+        if event.key == "direct":
+            return event.name if ("h", event.name) in state else None
+        for token in state:
+            if token[0] == "a" and token[1] == event.name:
+                return token[2]
+        return None
+
+
+class CloseOnAllPathsRule(FlowRule):
+    """A handle closed on some path must be closed on all of them."""
+
+    name = "close-on-all-paths"
+    description = ("Pager/BufferPool/PrixIndex closed on some paths "
+                   "but able to reach a return unclosed on others")
+
+    def _apply(self, events, state, gen):
+        for event in events:
+            if event.kind == "acquire" and gen:
+                state = frozenset(t for t in state if t[0] != event.name)
+                state = state | {(event.name, event.key, event.line,
+                                  event.col)}
+            elif event.kind in ("release", "escape"):
+                state = frozenset(t for t in state if t[0] != event.name)
+        return state
+
+    def _check_function(self, model):
+        released_names = {event.name for event in
+                          self._events_with(model, "release")}
+        if not released_names:
+            return
+        flow = self._solve(model)
+        exit_state = sorted(flow.before(model.cfg.exit),
+                            key=lambda t: (t[2], t[3]))
+        for name, cls, line, col in exit_state:
+            if name in released_names:
+                self.report_at(line, col, (
+                    f"{cls or 'handle'} bound to {name!r} is closed on "
+                    "some paths but can reach a return unclosed; close "
+                    "it in a finally block or use a with statement"))

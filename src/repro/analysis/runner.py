@@ -15,6 +15,7 @@ from pathlib import Path
 from repro.analysis.baseline import (BaselineError, apply_baseline,
                                      load_baseline, write_baseline)
 from repro.analysis.core import SourceFile, check_source
+from repro.analysis.flow import FLOW_RULES
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.rules_determinism import SeededRngRule
 from repro.analysis.rules_hygiene import (NoBareExceptRule,
@@ -22,7 +23,8 @@ from repro.analysis.rules_hygiene import (NoBareExceptRule,
 from repro.analysis.rules_io import NoRawIoRule, ResourceSafetyRule
 from repro.analysis.rules_stats import StatsIntDisciplineRule
 
-#: Every shipped rule, in reporting order.
+#: Every shipped rule, in reporting order: the AST rules first, then the
+#: flow-sensitive prixflow rules.
 ALL_RULES = (
     NoRawIoRule,
     SeededRngRule,
@@ -30,7 +32,7 @@ ALL_RULES = (
     ResourceSafetyRule,
     NoMutableDefaultArgRule,
     NoBareExceptRule,
-)
+) + FLOW_RULES
 
 #: Directory names never descended into during discovery.
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}

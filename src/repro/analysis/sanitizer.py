@@ -1,0 +1,132 @@
+"""Runtime sanitizer: dynamic twin of the prixflow static rules.
+
+The static rules in :mod:`repro.analysis.flow` prove pin/flush
+discipline per function but stop at escapes (a handle stored on ``self``
+or passed to a helper leaves their scope).  The sanitizer covers that
+remainder at runtime: with it enabled, the storage layer itself asserts
+the protocol at the moments the static rules cannot see.
+
+Checks added while enabled:
+
+- **pin balance at close**: ``BufferPool.close()`` with outstanding pins
+  raises :class:`~repro.storage.errors.PinProtocolError` -- a pin that
+  survives the pool's lifetime was never released anywhere.
+  (``unpin`` at count zero and ``flush_and_clear`` with pins raise
+  unconditionally; they are protocol violations, not heuristics.)
+- **flush before stats**: ``IOStats.snapshot()`` while a pool on that
+  stats object still holds dirty pages raises :class:`SanitizeError`.
+  A snapshot taken then would report physical I/O that has not happened
+  yet, corrupting the paper's "Disk IO (pages)" columns.
+
+Enable programmatically::
+
+    from repro.analysis import sanitizer
+    sanitizer.enable()          # idempotent
+    ...
+    sanitizer.disable()         # restores the original methods
+
+or for a block::
+
+    with sanitizer.sanitized():
+        run_benchmark()
+
+or for a whole process: set ``PRIX_SANITIZE=1`` in the environment
+before importing :mod:`repro` (the package auto-enables on import; see
+``repro/__init__.py``).  The intended use is a CI pytest shard running
+the whole suite with the sanitizer on.
+"""
+
+from __future__ import annotations
+
+import weakref
+from contextlib import contextmanager
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.errors import PinProtocolError
+from repro.storage.stats import IOStats
+
+
+class SanitizeError(AssertionError):
+    """A runtime protocol violation detected by the sanitizer.
+
+    Subclasses ``AssertionError``: these are programming errors in the
+    code under test, not recoverable I/O conditions, and test harnesses
+    already treat assertion failures as hard failures.
+    """
+
+
+#: Live pools, so a stats object can find the pools it serves.
+_pools = weakref.WeakSet()
+
+#: Original (unwrapped) methods; non-empty exactly while enabled.
+_saved = {}
+
+
+def active():
+    """Whether the sanitizer is currently enabled."""
+    return bool(_saved)
+
+
+def enable():
+    """Install the runtime checks (idempotent)."""
+    if _saved:
+        return
+    _saved["pool_init"] = BufferPool.__init__
+    _saved["pool_close"] = BufferPool.close
+    _saved["stats_snapshot"] = IOStats.snapshot
+
+    original_init = _saved["pool_init"]
+    original_close = _saved["pool_close"]
+    original_snapshot = _saved["stats_snapshot"]
+
+    def init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        _pools.add(self)
+
+    def close(self):
+        if self._pins:
+            raise PinProtocolError(
+                "sanitizer: BufferPool.close() with outstanding pins on "
+                f"pages {sorted(self._pins)}; every pin() needs a "
+                "matching unpin() before the pool goes away")
+        original_close(self)
+
+    def snapshot(self):
+        for pool in list(_pools):
+            if pool.stats is self and pool._dirty:
+                raise SanitizeError(
+                    "sanitizer: IOStats.snapshot() while a BufferPool "
+                    f"on these stats holds {len(pool._dirty)} dirty "
+                    "page(s); flush() first so the snapshot matches "
+                    "what is on disk")
+        return original_snapshot(self)
+
+    BufferPool.__init__ = init
+    BufferPool.close = close
+    IOStats.snapshot = snapshot
+
+
+def disable():
+    """Remove the runtime checks and restore the original methods."""
+    if not _saved:
+        return
+    BufferPool.__init__ = _saved.pop("pool_init")
+    BufferPool.close = _saved.pop("pool_close")
+    IOStats.snapshot = _saved.pop("stats_snapshot")
+    _saved.clear()
+
+
+@contextmanager
+def sanitized():
+    """Enable the sanitizer for a block, restoring the prior state after.
+
+    Nested use is safe: if the sanitizer was already active, leaving the
+    block keeps it active.
+    """
+    was_active = active()
+    enable()
+    try:
+        yield
+    finally:
+        if not was_active:
+            disable()

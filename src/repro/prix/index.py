@@ -138,6 +138,13 @@ class PrixIndex:
     def build(cls, documents, options=None):
         """Build an index over ``documents`` (numbered ``Document``\\ s)."""
         options = options or IndexOptions()
+        # Validate before any pager/pool exists: raising after the file
+        # is created would leak the handle (and a half-written file).
+        documents = list(documents)
+        doc_ids = [doc.doc_id for doc in documents]
+        if len(set(doc_ids)) != len(doc_ids):
+            raise ValueError("document ids must be unique")
+
         stats = None
         if options.path is None:
             pager = Pager.in_memory(page_size=options.page_size, stats=stats)
@@ -149,11 +156,6 @@ class PrixIndex:
         assert superblock_id == 0
         records = RecordStore(pool)
         label_dict = LabelDict()
-
-        documents = list(documents)
-        doc_ids = [doc.doc_id for doc in documents]
-        if len(set(doc_ids)) != len(doc_ids):
-            raise ValueError("document ids must be unique")
 
         variants = {}
         for name in options.variants:
@@ -390,6 +392,12 @@ class PrixIndex:
         """Flush and close the backing file."""
         self._pool.flush()
         self._pool._pager.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
     @classmethod
     def _build_variant(cls, name, documents, options, pool, records,

@@ -322,9 +322,15 @@ def node_signatures(pattern):
 
 
 def _signature(collapsed):
+    # Keyed on the parent's postorder number, not its tag: two different
+    # arrangements can give every node identically-tagged parents (e.g. a
+    # star under the root vs. under an inner node both tagged 'a') while
+    # being different ordered trees, and deduplicating them would drop
+    # real matches.  Equal (tag, parent-number, spec) per postorder
+    # position means the arrangements are the same ordered tree.
     doc = collapsed.document
     return tuple(
         (node.tag, node.is_value,
-         node.parent.tag if node.parent else "",
+         node.parent.postorder if node.parent else 0,
          collapsed.spec_of(node))
         for node in doc.nodes_in_postorder())

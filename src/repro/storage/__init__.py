@@ -11,7 +11,8 @@ from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.codec import (decode_key, encode_int, encode_key,
                                  encode_str)
-from repro.storage.errors import (PageOverflowError, PageSizeError,
+from repro.storage.errors import (BufferPoolExhaustedError, PageOverflowError,
+                                  PageSizeError, PinProtocolError,
                                   StorageError)
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
@@ -20,11 +21,13 @@ from repro.storage.stats import IOStats
 __all__ = [
     "BPlusTree",
     "BufferPool",
+    "BufferPoolExhaustedError",
     "DEFAULT_PAGE_SIZE",
     "IOStats",
     "PageOverflowError",
     "PageSizeError",
     "Pager",
+    "PinProtocolError",
     "RecordStore",
     "StorageError",
     "decode_key",

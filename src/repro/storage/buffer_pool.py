@@ -10,8 +10,10 @@ the pager and is counted as a physical read.  Benchmarks call
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 
-from repro.storage.errors import PageSizeError
+from repro.storage.errors import (BufferPoolExhaustedError, PageSizeError,
+                                  PinProtocolError)
 
 #: Pool capacity used by the experiments; matches the paper's 2000 pages.
 DEFAULT_POOL_PAGES = 2000
@@ -28,6 +30,7 @@ class BufferPool:
         self._frames = OrderedDict()  # page_id -> bytearray
         self._dirty = set()
         self._decoded = {}  # page_id -> decoded object (frame-resident only)
+        self._pins = {}  # page_id -> pin count (> 0; absent means unpinned)
         self.stats = pager.stats
 
     @property
@@ -78,6 +81,55 @@ class BufferPool:
         self._decoded[page_id] = decoded
         return decoded
 
+    def pin(self, page_id):
+        """Load ``page_id`` (a logical read), pin its frame, return it.
+
+        A pinned frame is exempt from eviction, so the returned
+        ``bytearray`` stays the live in-pool image until the matching
+        :meth:`unpin` -- mutations made to it cannot be silently written
+        back and then orphaned by an eviction mid-use.  Pins nest; every
+        ``pin`` needs exactly one ``unpin`` on every code path (prefer
+        :meth:`pinned`, which guarantees that).
+        """
+        frame = self.get(page_id)
+        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        return frame
+
+    def unpin(self, page_id):
+        """Release one pin on ``page_id``.
+
+        Raises :class:`PinProtocolError` when the frame is not pinned:
+        silently letting the count go negative would make a later
+        legitimate pin a no-op and reintroduce the eviction hazard the
+        pin was supposed to prevent.
+        """
+        count = self._pins.get(page_id, 0)
+        if count <= 0:
+            raise PinProtocolError(
+                f"unpin of page {page_id} which has pin count 0")
+        if count == 1:
+            del self._pins[page_id]
+        else:
+            self._pins[page_id] = count - 1
+
+    @contextmanager
+    def pinned(self, page_id):
+        """Context manager: pin ``page_id`` for the block, then unpin."""
+        frame = self.pin(page_id)
+        try:
+            yield frame
+        finally:
+            self.unpin(page_id)
+
+    def pin_count(self, page_id):
+        """Current pin count of ``page_id`` (0 when unpinned)."""
+        return self._pins.get(page_id, 0)
+
+    @property
+    def pinned_pages(self):
+        """Page ids currently holding at least one pin."""
+        return frozenset(self._pins)
+
     def put(self, page_id, data):
         """Replace the cached image of ``page_id`` and mark it dirty.
 
@@ -108,7 +160,13 @@ class BufferPool:
 
     def _admit(self, page_id, frame):
         while len(self._frames) >= self._capacity:
-            victim_id, victim = self._frames.popitem(last=False)
+            victim_id = next((candidate for candidate in self._frames
+                              if candidate not in self._pins), None)
+            if victim_id is None:
+                raise BufferPoolExhaustedError(
+                    f"all {self._capacity} frames are pinned; cannot "
+                    f"admit page {page_id}")
+            victim = self._frames.pop(victim_id)
             if victim_id in self._dirty:
                 self._pager.write(victim_id, victim)
                 self._dirty.discard(victim_id)
@@ -123,7 +181,16 @@ class BufferPool:
         self._dirty.clear()
 
     def flush_and_clear(self):
-        """Write back all dirty pages and empty the pool (cold cache)."""
+        """Write back all dirty pages and empty the pool (cold cache).
+
+        Refuses to run while any frame is pinned: clearing would orphan
+        the pinned ``bytearray`` from the pool, so later mutations through
+        it would never reach disk.
+        """
+        if self._pins:
+            raise PinProtocolError(
+                "flush_and_clear with outstanding pins on pages "
+                f"{sorted(self._pins)}")
         self.flush()
         self._frames.clear()
         self._decoded.clear()
@@ -131,3 +198,9 @@ class BufferPool:
     def close(self):
         """Flush all dirty pages."""
         self.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

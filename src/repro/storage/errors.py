@@ -24,3 +24,22 @@ class PageSizeError(StorageError, ValueError):
 
 class KeyNotFoundError(StorageError, KeyError):
     """A delete or exact lookup referenced a key that is absent."""
+
+
+class PinProtocolError(StorageError):
+    """The pin/unpin discipline of the buffer pool was violated.
+
+    Raised on unpinning a frame whose pin count is already zero (the
+    old behaviour -- silently going negative -- would let a later pin
+    be "cancelled" by an unrelated earlier bug), and on operations that
+    would invalidate a pinned frame, such as clearing the pool while
+    pins are outstanding.
+    """
+
+
+class BufferPoolExhaustedError(StorageError):
+    """Every frame is pinned, so no page can be admitted or evicted.
+
+    Hitting this means pins are being held across too much work (or
+    leaked); the cure is narrower pin scopes, not a bigger pool.
+    """

@@ -58,10 +58,12 @@ class RecordStore:
         page_id = first_page
         offset = first_offset
         while pos < len(blob):
-            frame = self._pool.get(page_id)
-            take = min(self._page_size - offset, len(blob) - pos)
-            frame[offset:offset + take] = blob[pos:pos + take]
-            self._pool.mark_dirty(page_id)
+            # Pin while mutating: an eviction between the slice write and
+            # mark_dirty would write back (and then orphan) the frame.
+            with self._pool.pinned(page_id) as frame:
+                take = min(self._page_size - offset, len(blob) - pos)
+                frame[offset:offset + take] = blob[pos:pos + take]
+                self._pool.mark_dirty(page_id)
             pos += take
             offset += take
             if offset >= self._page_size and pos < len(blob):
@@ -77,9 +79,9 @@ class RecordStore:
         chunks = []
         remaining = length
         while remaining > 0:
-            frame = self._pool.get(page_id)
-            take = min(self._page_size - offset, remaining)
-            chunks.append(bytes(frame[offset:offset + take]))
+            with self._pool.pinned(page_id) as frame:
+                take = min(self._page_size - offset, remaining)
+                chunks.append(bytes(frame[offset:offset + take]))
             remaining -= take
             page_id += 1
             offset = 0

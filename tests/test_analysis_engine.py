@@ -147,14 +147,16 @@ class TestRunner:
         assert main([str(dirty), "--rules", "seeded-rng"]) == 0
         assert main([str(dirty), "--rules", "no-such-rule"]) == 2
 
-    def test_list_rules_names_all_six(self, capsys):
+    def test_list_rules_names_all_ten(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for name in ("no-raw-io", "seeded-rng", "stats-int-discipline",
                      "resource-safety", "no-mutable-default-arg",
-                     "no-bare-except"):
+                     "no-bare-except", "pin-unpin-balance",
+                     "dirty-page-escape", "stats-read-before-flush",
+                     "close-on-all-paths"):
             assert name in out
-        assert len(rules_by_name()) == 6
+        assert len(rules_by_name()) == 10
 
     def test_write_baseline_flag(self, tmp_path, capsys):
         dirty = self.write_dirty_tree(tmp_path)

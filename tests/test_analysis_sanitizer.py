@@ -1,0 +1,157 @@
+"""Runtime sanitizer tests: enable/disable, both checks, env activation.
+
+These tests intentionally commit the protocol violations the sanitizer
+exists to catch (pins outliving close, snapshots while dirty), so the
+static twin rules are opted out where they would fire:
+
+# prixlint: disable-file=pin-unpin-balance
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.errors import PinProtocolError
+from repro.storage.pager import Pager
+
+
+@pytest.fixture(autouse=True)
+def _start_disabled():
+    # Under PRIX_SANITIZE=1 the sanitizer is already on at import; these
+    # tests exercise the transitions themselves, so normalize to "off"
+    # and restore the ambient state afterwards.
+    was_active = sanitizer.active()
+    if was_active:
+        sanitizer.disable()
+    yield
+    if sanitizer.active() is not was_active:
+        if was_active:
+            sanitizer.enable()
+        else:
+            sanitizer.disable()
+
+
+@pytest.fixture
+def sanitized():
+    sanitizer.enable()
+    try:
+        yield
+    finally:
+        sanitizer.disable()
+
+
+def make_pool(capacity=4):
+    pager = Pager.in_memory(page_size=32)
+    return BufferPool(pager, capacity=capacity)
+
+
+class TestLifecycle:
+    def test_enable_disable_restores_methods(self):
+        original_close = BufferPool.close
+        original_snapshot = type(make_pool().stats).snapshot
+        sanitizer.enable()
+        try:
+            assert sanitizer.active()
+            assert BufferPool.close is not original_close
+        finally:
+            sanitizer.disable()
+        assert not sanitizer.active()
+        assert BufferPool.close is original_close
+        assert type(make_pool().stats).snapshot is original_snapshot
+
+    def test_enable_is_idempotent(self):
+        sanitizer.enable()
+        saved_close = BufferPool.close
+        sanitizer.enable()
+        try:
+            assert BufferPool.close is saved_close
+        finally:
+            sanitizer.disable()
+
+    def test_sanitized_context_manager(self):
+        assert not sanitizer.active()
+        with sanitizer.sanitized():
+            assert sanitizer.active()
+        assert not sanitizer.active()
+
+    def test_sanitized_nested_keeps_outer_active(self):
+        with sanitizer.sanitized():
+            with sanitizer.sanitized():
+                pass
+            assert sanitizer.active()
+        assert not sanitizer.active()
+
+
+class TestPinBalanceAtClose:
+    def test_close_with_outstanding_pin_raises(self, sanitized):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.pin(pid)
+        with pytest.raises(PinProtocolError):
+            pool.close()
+        pool.unpin(pid)
+        pool.close()
+
+    def test_close_without_pins_passes(self, sanitized):
+        pool = make_pool()
+        pool.new_page()
+        pool.close()
+
+    def test_without_sanitizer_close_does_not_check(self):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.pin(pid)
+        pool.close()  # no assertion without the sanitizer
+        pool.unpin(pid)
+
+
+class TestFlushBeforeStats:
+    def test_snapshot_while_dirty_raises(self, sanitized):
+        pool = make_pool()
+        pool.new_page()
+        with pytest.raises(sanitizer.SanitizeError):
+            pool.stats.snapshot()  # prixlint: disable=stats-read-before-flush
+
+    def test_snapshot_after_flush_passes(self, sanitized):
+        pool = make_pool()
+        pool.new_page()
+        pool.flush()
+        snap = pool.stats.snapshot()
+        assert snap.allocations == 1
+
+    def test_unrelated_stats_object_unaffected(self, sanitized):
+        from repro.storage.stats import IOStats
+        pool = make_pool()
+        pool.new_page()  # dirty, but on its own stats object
+        other = IOStats(physical_reads=3)
+        assert other.snapshot().physical_reads == 3
+
+    def test_sanitize_error_is_assertion_error(self):
+        assert issubclass(sanitizer.SanitizeError, AssertionError)
+
+
+class TestEnvActivation:
+    def _run(self, env_value):
+        env = dict(os.environ)
+        env.pop("PRIX_SANITIZE", None)
+        if env_value is not None:
+            env["PRIX_SANITIZE"] = env_value
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        code = ("import repro\n"
+                "from repro.analysis import sanitizer\n"
+                "print(sanitizer.active())\n")
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        return out.stdout.strip()
+
+    def test_prix_sanitize_1_enables_on_import(self):
+        assert self._run("1") == "True"
+
+    def test_prix_sanitize_0_and_unset_stay_off(self):
+        assert self._run("0") == "False"
+        assert self._run(None) == "False"

@@ -22,15 +22,15 @@ def small_corpus():
 
 class TestBuild:
     def test_both_variants_by_default(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        assert set(index.variants()) == {"rp", "ep"}
+        with PrixIndex.build(small_corpus) as index:
+            assert set(index.variants()) == {"rp", "ep"}
 
     def test_single_variant(self, small_corpus):
         options = IndexOptions(variants=(VARIANT_REGULAR,))
-        index = PrixIndex.build(small_corpus, options)
-        assert index.variants() == ("rp",)
-        with pytest.raises(KeyError):
-            index.query(parse_xpath("//a/b"), variant="ep")
+        with PrixIndex.build(small_corpus, options) as index:
+            assert index.variants() == ("rp",)
+            with pytest.raises(KeyError):
+                index.query(parse_xpath("//a/b"), variant="ep")
 
     def test_duplicate_doc_ids_rejected(self, small_corpus):
         docs = [small_corpus[0], small_corpus[0]]
@@ -38,135 +38,137 @@ class TestBuild:
             PrixIndex.build(docs)
 
     def test_doc_count(self, small_corpus):
-        assert PrixIndex.build(small_corpus).doc_count == 3
+        with PrixIndex.build(small_corpus) as index:
+            assert index.doc_count == 3
 
     def test_trie_stats(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        stats = index.trie_stats("rp")
-        assert stats.sequence_count == 3
-        assert stats.node_count > 0
-        assert stats.total_sequence_length == sum(
-            doc.size - 1 for doc in small_corpus)
+        with PrixIndex.build(small_corpus) as index:
+            stats = index.trie_stats("rp")
+            assert stats.sequence_count == 3
+            assert stats.node_count > 0
+            assert stats.total_sequence_length == sum(
+                doc.size - 1 for doc in small_corpus)
 
     def test_file_backed_build(self, small_corpus, tmp_path):
         options = IndexOptions(path=str(tmp_path / "prix.db"))
-        index = PrixIndex.build(small_corpus, options)
-        matches = index.query(parse_xpath("//a/b/c"))
-        assert len(matches) == 3
+        with PrixIndex.build(small_corpus, options) as index:
+            matches = index.query(parse_xpath("//a/b/c"))
+            assert len(matches) == 3
 
     def test_dynamic_labeler_build(self, small_corpus):
         options = IndexOptions(labeler="dynamic", alpha=2)
-        index = PrixIndex.build(small_corpus, options)
-        matches = index.query(parse_xpath("//a/b/c"))
-        assert len(matches) == 3
+        with PrixIndex.build(small_corpus, options) as index:
+            matches = index.query(parse_xpath("//a/b/c"))
+            assert len(matches) == 3
 
 
 class TestOptimizer:
     def test_values_choose_extended(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        assert index.choose_variant(parse_xpath('//e[text()="x"]')) == \
-            VARIANT_EXTENDED
+        with PrixIndex.build(small_corpus) as index:
+            assert index.choose_variant(parse_xpath('//e[text()="x"]')) \
+                == VARIANT_EXTENDED
 
     def test_no_values_choose_by_selectivity(self, small_corpus):
         """Value-free queries pick the variant whose first filter label
         is rarest (RP on ties); both variants are answer-equivalent."""
-        index = PrixIndex.build(small_corpus)
-        choice = index.choose_variant(parse_xpath("//a/b"))
-        assert choice in (VARIANT_REGULAR, VARIANT_EXTENDED)
-        rp = {(m.doc_id, m.canonical)
-              for m in index.query("//a/b", variant="rp")}
-        auto = {(m.doc_id, m.canonical) for m in index.query("//a/b")}
-        assert auto == rp
+        with PrixIndex.build(small_corpus) as index:
+            choice = index.choose_variant(parse_xpath("//a/b"))
+            assert choice in (VARIANT_REGULAR, VARIANT_EXTENDED)
+            rp = {(m.doc_id, m.canonical)
+                  for m in index.query("//a/b", variant="rp")}
+            auto = {(m.doc_id, m.canonical) for m in index.query("//a/b")}
+            assert auto == rp
 
     def test_rp_preferred_on_frequency_tie(self):
         # One document where both variants' first labels are unique.
         docs = [parse_document("<top><mid><leafy/></mid></top>", 1)]
-        index = PrixIndex.build(docs)
-        assert index.choose_variant(
-            parse_xpath("//top/mid/leafy")) == VARIANT_REGULAR
+        with PrixIndex.build(docs) as index:
+            assert index.choose_variant(
+                parse_xpath("//top/mid/leafy")) == VARIANT_REGULAR
 
     def test_fallback_when_ep_missing(self, small_corpus):
         options = IndexOptions(variants=(VARIANT_REGULAR,))
-        index = PrixIndex.build(small_corpus, options)
-        assert index.choose_variant(parse_xpath('//e[text()="x"]')) == \
-            VARIANT_REGULAR
+        with PrixIndex.build(small_corpus, options) as index:
+            assert index.choose_variant(parse_xpath('//e[text()="x"]')) \
+                == VARIANT_REGULAR
 
 
 class TestQueries:
     def test_accepts_xpath_string(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        matches, stats = index.query_with_stats("//a/b/c")
-        assert len(matches) == 3
-        assert stats.matches == 3
+        with PrixIndex.build(small_corpus) as index:
+            matches, stats = index.query_with_stats("//a/b/c")
+            assert len(matches) == 3
+            assert stats.matches == 3
 
     def test_variants_agree(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        for xpath in ("//a/b", "//a/b/c", "//a//d", '//e[text()="x"]',
-                      "//a[./b]/e", "/r//b"):
-            rp = {(m.doc_id, m.canonical)
-                  for m in index.query(xpath, variant="rp")}
-            ep = {(m.doc_id, m.canonical)
-                  for m in index.query(xpath, variant="ep")}
-            assert rp == ep, xpath
+        with PrixIndex.build(small_corpus) as index:
+            for xpath in ("//a/b", "//a/b/c", "//a//d", '//e[text()="x"]',
+                          "//a[./b]/e", "/r//b"):
+                rp = {(m.doc_id, m.canonical)
+                      for m in index.query(xpath, variant="rp")}
+                ep = {(m.doc_id, m.canonical)
+                      for m in index.query(xpath, variant="ep")}
+                assert rp == ep, xpath
 
     def test_matches_oracle(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        for xpath in ("//a/b", "//b[./c][./d]", "//a//c", "/a/b",
-                      '//e[text()="x"]'):
-            pattern = parse_xpath(xpath)
-            got = {(m.doc_id, m.canonical) for m in index.query(pattern)}
-            want = {(d.doc_id, emb) for d in small_corpus
-                    for emb in naive_matches(d, pattern)}
-            assert got == want, xpath
+        with PrixIndex.build(small_corpus) as index:
+            for xpath in ("//a/b", "//b[./c][./d]", "//a//c", "/a/b",
+                          '//e[text()="x"]'):
+                pattern = parse_xpath(xpath)
+                got = {(m.doc_id, m.canonical)
+                       for m in index.query(pattern)}
+                want = {(d.doc_id, emb) for d in small_corpus
+                        for emb in naive_matches(d, pattern)}
+                assert got == want, xpath
 
     def test_ordered_vs_unordered(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        # b[./d][./c] in that branch order: doc 1 has b with (c, d) --
-        # ordered query d-before-c finds nothing there.
-        pattern = parse_xpath("//b[./d][./c]")
-        unordered = index.query(pattern, ordered=False)
-        ordered = index.query(pattern, ordered=True)
-        assert len(unordered) > len(ordered)
-        assert len(ordered) == 0
+        with PrixIndex.build(small_corpus) as index:
+            # b[./d][./c] in that branch order: doc 1 has b with (c, d) --
+            # ordered query d-before-c finds nothing there.
+            pattern = parse_xpath("//b[./d][./c]")
+            unordered = index.query(pattern, ordered=False)
+            ordered = index.query(pattern, ordered=True)
+            assert len(unordered) > len(ordered)
+            assert len(ordered) == 0
 
     def test_match_images_api(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        (match,) = [m for m in index.query("//a/e") if m.doc_id == 2]
-        assert match.root_image > 0
-        assert match.image_of(1) > 0
-        with pytest.raises(KeyError):
-            match.image_of(99)
+        with PrixIndex.build(small_corpus) as index:
+            (match,) = [m for m in index.query("//a/e") if m.doc_id == 2]
+            assert match.root_image > 0
+            assert match.image_of(1) > 0
+            with pytest.raises(KeyError):
+                match.image_of(99)
 
     def test_query_stats_fields(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        _, stats = index.query_with_stats("//a/b", cold=True)
-        assert stats.variant == "rp"
-        assert stats.arrangements == 1
-        assert stats.physical_reads > 0
-        assert stats.elapsed_seconds > 0
+        with PrixIndex.build(small_corpus) as index:
+            _, stats = index.query_with_stats("//a/b", cold=True)
+            assert stats.variant == "rp"
+            assert stats.arrangements == 1
+            assert stats.physical_reads > 0
+            assert stats.elapsed_seconds > 0
 
     def test_paper_query_on_figure2(self, fig2_doc):
         # Figure 2's Q has 4 embeddings in T: the B node has two C
         # children, and the E node has two F children (2 x 2).  Example 6
         # walks through one of them.
-        index = PrixIndex.build([fig2_doc])
-        matches = index.query(figure2_query())
-        assert len(matches) == 4
-        assert naive_match_count([fig2_doc], figure2_query()) == 4
-        assert {m.canonical for m in matches} == naive_matches(
-            fig2_doc, figure2_query())
+        with PrixIndex.build([fig2_doc]) as index:
+            matches = index.query(figure2_query())
+            assert len(matches) == 4
+            assert naive_match_count([fig2_doc], figure2_query()) == 4
+            assert {m.canonical for m in matches} == naive_matches(
+                fig2_doc, figure2_query())
 
 
 class TestColdVsWarm:
     def test_cold_costs_more(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        _, cold = index.query_with_stats("//a/b/c", cold=True)
-        _, warm = index.query_with_stats("//a/b/c", cold=False)
-        assert warm.physical_reads <= cold.physical_reads
+        with PrixIndex.build(small_corpus) as index:
+            _, cold = index.query_with_stats("//a/b/c", cold=True)
+            _, warm = index.query_with_stats("//a/b/c", cold=False)
+            assert warm.physical_reads <= cold.physical_reads
 
     def test_flush_cache(self, small_corpus):
-        index = PrixIndex.build(small_corpus)
-        index.query("//a/b")
-        index.flush_cache()
-        _, stats = index.query_with_stats("//a/b")
-        assert stats.physical_reads > 0
+        with PrixIndex.build(small_corpus) as index:
+            index.query("//a/b")
+            index.flush_cache()
+            _, stats = index.query_with_stats("//a/b")
+            assert stats.physical_reads > 0

@@ -8,55 +8,55 @@ from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 
 class TestAllocation:
     def test_starts_empty(self):
-        pager = Pager.in_memory()
-        assert pager.num_pages == 0
+        with Pager.in_memory() as pager:
+            assert pager.num_pages == 0
 
     def test_allocate_returns_sequential_ids(self):
-        pager = Pager.in_memory()
-        assert [pager.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
+        with Pager.in_memory() as pager:
+            assert [pager.allocate() for _ in range(5)] == [0, 1, 2, 3, 4]
 
     def test_allocation_counted(self):
-        pager = Pager.in_memory()
-        pager.allocate()
-        assert pager.stats.allocations == 1
+        with Pager.in_memory() as pager:
+            pager.allocate()
+            assert pager.stats.allocations == 1
 
 
 class TestReadWrite:
     def test_write_then_read(self):
-        pager = Pager.in_memory(page_size=128)
-        pid = pager.allocate()
-        payload = bytes(range(128))
-        pager.write(pid, payload)
-        assert bytes(pager.read(pid)) == payload
+        with Pager.in_memory(page_size=128) as pager:
+            pid = pager.allocate()
+            payload = bytes(range(128))
+            pager.write(pid, payload)
+            assert bytes(pager.read(pid)) == payload
 
     def test_new_page_is_zeroed(self):
-        pager = Pager.in_memory(page_size=64)
-        pid = pager.allocate()
-        assert bytes(pager.read(pid)) == b"\x00" * 64
+        with Pager.in_memory(page_size=64) as pager:
+            pid = pager.allocate()
+            assert bytes(pager.read(pid)) == b"\x00" * 64
 
     def test_read_counts_physical_io(self):
-        pager = Pager.in_memory()
-        pid = pager.allocate()
-        pager.read(pid)
-        pager.read(pid)
-        assert pager.stats.physical_reads == 2
+        with Pager.in_memory() as pager:
+            pid = pager.allocate()
+            pager.read(pid)
+            pager.read(pid)
+            assert pager.stats.physical_reads == 2
 
     def test_write_counts_physical_io(self):
-        pager = Pager.in_memory(page_size=32)
-        pid = pager.allocate()
-        pager.write(pid, b"\x01" * 32)
-        assert pager.stats.physical_writes == 1
+        with Pager.in_memory(page_size=32) as pager:
+            pid = pager.allocate()
+            pager.write(pid, b"\x01" * 32)
+            assert pager.stats.physical_writes == 1
 
     def test_read_unallocated_raises(self):
-        pager = Pager.in_memory()
-        with pytest.raises(PageNotFoundError):
-            pager.read(0)
+        with Pager.in_memory() as pager:
+            with pytest.raises(PageNotFoundError):
+                pager.read(0)
 
     def test_write_wrong_size_raises(self):
-        pager = Pager.in_memory(page_size=64)
-        pid = pager.allocate()
-        with pytest.raises(ValueError):
-            pager.write(pid, b"short")
+        with Pager.in_memory(page_size=64) as pager:
+            pid = pager.allocate()
+            with pytest.raises(ValueError):
+                pager.write(pid, b"short")
 
     def test_default_page_size_matches_paper(self):
         assert DEFAULT_PAGE_SIZE == 8192
