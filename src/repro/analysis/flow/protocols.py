@@ -41,16 +41,30 @@ from repro.analysis.rules_io import TRACKED_HANDLES, _tracked_constructor
 RELEASE_METHODS = frozenset({"close", "flush_and_clear"})
 
 #: Methods that force dirty pages to disk without ending the lifetime.
-CLEAN_METHODS = frozenset({"flush", "save", "flush_cache"})
+#: ``sync``/``checkpoint`` are the WriteAheadLog's cleaners: after either,
+#: every appended record is on the platter.
+CLEAN_METHODS = frozenset({"flush", "save", "flush_cache", "sync",
+                           "checkpoint"})
 
-#: Methods that leave unflushed pages behind.
+#: Methods that leave unflushed pages (or unflushed log records) behind.
 DIRTY_METHODS = frozenset({"put", "mark_dirty", "new_page",
-                           "insert_document", "delete_document"})
+                           "insert_document", "delete_document",
+                           "append", "log_page"})
 
 #: IOStats counter attributes (plus the derived ``hit_ratio`` property).
 STAT_FIELDS = frozenset({"physical_reads", "physical_writes",
                          "logical_reads", "evictions", "allocations",
-                         "hit_ratio"})
+                         "hit_ratio", "wal_appends", "wal_fsyncs",
+                         "wal_bytes"})
+
+#: Log-side durability fields, exempt from ``stats-read-before-flush``.
+#: A WAL append or fsync is counted at the instant it happens, and
+#: ``wal.flushed_lsn`` *is* the current disk state -- reading any of
+#: these while data pages are still dirty is exactly what recovery and
+#: the WAL-before-data check must do, not the stale-counter bug the
+#: rule hunts.
+WAL_SIDE_FIELDS = frozenset({"wal_appends", "wal_fsyncs", "wal_bytes",
+                             "flushed_lsn"})
 
 #: IOStats methods whose result captures the counters.
 STAT_READ_METHODS = frozenset({"snapshot", "delta"})
@@ -296,6 +310,8 @@ class ProtocolExtractor:
         return events
 
     def _attr_read_events(self, attribute):
+        if attribute.attr in WAL_SIDE_FIELDS:
+            return []
         if attribute.attr not in STAT_FIELDS:
             return []
         return self._stats_receiver(attribute.value, attribute.lineno,

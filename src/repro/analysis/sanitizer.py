@@ -17,6 +17,14 @@ Checks added while enabled:
   stats object still holds dirty pages raises :class:`SanitizeError`.
   A snapshot taken then would report physical I/O that has not happened
   yet, corrupting the paper's "Disk IO (pages)" columns.
+- **WAL write ordering**: ``Pager.write()`` on a pager whose pool has a
+  write-ahead log attached asserts the durability protocol on *every*
+  data-page write, however it was reached: the page must not be dirty
+  and uncommitted (no-steal -- redo-only recovery cannot undo it), and
+  its logged image record must already be fsynced
+  (``wal.flushed_lsn``, the WAL-before-data invariant).  This catches
+  code that writes through the pager directly, bypassing the pool's
+  ``_write_back`` where the static rules look.
 
 Enable programmatically::
 
@@ -43,6 +51,7 @@ from contextlib import contextmanager
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.errors import PinProtocolError
+from repro.storage.pager import Pager
 from repro.storage.stats import IOStats
 
 
@@ -74,10 +83,12 @@ def enable():
     _saved["pool_init"] = BufferPool.__init__
     _saved["pool_close"] = BufferPool.close
     _saved["stats_snapshot"] = IOStats.snapshot
+    _saved["pager_write"] = Pager.write
 
     original_init = _saved["pool_init"]
     original_close = _saved["pool_close"]
     original_snapshot = _saved["stats_snapshot"]
+    original_write = _saved["pager_write"]
 
     def init(self, *args, **kwargs):
         original_init(self, *args, **kwargs)
@@ -101,9 +112,31 @@ def enable():
                     "what is on disk")
         return original_snapshot(self)
 
+    def write(self, page_id, data):
+        for pool in list(_pools):
+            if pool._pager is not self or pool._wal is None:
+                continue
+            if page_id in pool._wal_uncommitted:
+                raise SanitizeError(
+                    f"sanitizer: Pager.write({page_id}) while the page "
+                    "is dirty and uncommitted; the no-steal policy "
+                    "forbids putting uncommitted changes in the data "
+                    "file (redo-only recovery cannot undo them) -- "
+                    "commit() the batch first")
+            lsn = pool._page_lsn.get(page_id)
+            if lsn is not None and lsn >= pool._wal.flushed_lsn:
+                raise SanitizeError(
+                    f"sanitizer: Pager.write({page_id}) before the "
+                    f"page's image record (LSN {lsn}) is durable in the "
+                    f"log (flushed_lsn {pool._wal.flushed_lsn}); "
+                    "WAL-before-data requires the log fsync to happen "
+                    "first -- go through the pool, or sync the log")
+        return original_write(self, page_id, data)
+
     BufferPool.__init__ = init
     BufferPool.close = close
     IOStats.snapshot = snapshot
+    Pager.write = write
 
 
 def disable():
@@ -113,6 +146,7 @@ def disable():
     BufferPool.__init__ = _saved.pop("pool_init")
     BufferPool.close = _saved.pop("pool_close")
     IOStats.snapshot = _saved.pop("stats_snapshot")
+    Pager.write = _saved.pop("pager_write")
     _saved.clear()
 
 

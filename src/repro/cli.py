@@ -49,9 +49,12 @@ def _cmd_build(args):
 
     options = IndexOptions(path=args.index,
                            page_size=args.page_size,
-                           labeler=args.labeler)
+                           labeler=args.labeler,
+                           durable=args.durable)
     index = PrixIndex.build(documents, options)
     index.save()
+    if index.durable:
+        print(f"write-ahead log at {args.index}.wal")
     for variant in index.variants():
         stats = index.trie_stats(variant)
         print(f"  {variant}: {stats.node_count} trie nodes over "
@@ -145,6 +148,38 @@ def _cmd_explain(args):
         index.close()
 
 
+def _cmd_recover(args):
+    from repro.storage.recovery import recover_path
+    wal_path = args.wal or args.index + ".wal"
+    result = recover_path(args.index, wal_path)
+    if result.clean:
+        print("nothing to redo; index is consistent")
+    else:
+        print(f"replayed {result.commits_applied} committed batch(es): "
+              f"{result.pages_applied} page(s) redone, "
+              f"{result.pages_discarded} uncommitted image(s) discarded, "
+              f"{result.truncated_bytes} torn byte(s) truncated")
+    if args.no_checkpoint:
+        return 0
+    # Checkpoint so the replayed tail is not replayed again on the next
+    # open; this also verifies the recovered index actually opens.
+    with PrixIndex.open(args.index, durable=True, wal_path=wal_path) as index:
+        index.checkpoint()
+        print(f"checkpointed; index holds {index.doc_count} documents")
+    return 0
+
+
+def _cmd_checkpoint(args):
+    wal_path = args.wal or args.index + ".wal"
+    with PrixIndex.open(args.index, durable=True, wal_path=wal_path) as index:
+        before = index._pool.wal.size_bytes
+        index.checkpoint()
+        after = index._pool.wal.size_bytes
+        print(f"checkpoint complete; log truncated "
+              f"{before} -> {after} bytes")
+    return 0
+
+
 def _cmd_lint(args):
     from repro.analysis.runner import run_lint
     return run_lint(args)
@@ -190,6 +225,10 @@ def make_parser():
                        default="bulk",
                        help="trie labeling: 'dynamic' leaves slack for "
                             "later 'insert' commands")
+    build.add_argument("--durable", action="store_true",
+                       help="write-ahead log every mutation to "
+                            "INDEX.wal so a crash is recoverable "
+                            "with 'prix recover'")
     build.set_defaults(func=_cmd_build)
 
     query = commands.add_parser("query", help="run a twig query")
@@ -234,6 +273,23 @@ def make_parser():
     stats = commands.add_parser("stats", help="summarize a saved index")
     stats.add_argument("index", help="index file")
     stats.set_defaults(func=_cmd_stats)
+
+    recover = commands.add_parser(
+        "recover", help="replay the committed write-ahead-log tail into "
+                        "a crashed index, then checkpoint it")
+    recover.add_argument("index", help="index file")
+    recover.add_argument("--wal", default=None,
+                         help="log file (default: INDEX.wal)")
+    recover.add_argument("--no-checkpoint", action="store_true",
+                         help="replay only; keep the log as-is")
+    recover.set_defaults(func=_cmd_recover)
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="flush a durable index and truncate its log")
+    checkpoint.add_argument("index", help="index file")
+    checkpoint.add_argument("--wal", default=None,
+                            help="log file (default: INDEX.wal)")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
 
     from repro.analysis.runner import add_lint_arguments
     lint = commands.add_parser(

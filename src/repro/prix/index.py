@@ -17,6 +17,7 @@ and runs the filter/refine pipeline.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import time
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.codec import decode_varints, encode_varints
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
+from repro.storage.wal import SYNC_COMMIT, WriteAheadLog
 from repro.trie.labeling import BulkDFSLabeler, DynamicLabeler
 from repro.trie.trie import SequenceTrie
 
@@ -55,6 +57,10 @@ class IndexOptions:
     path: str | None = None        # None -> in-memory storage
     insert_fanout: int = 8         # scope share for incremental inserts
     maxgap_granularity: str = "label"  # or "node" (Section 5.4, fine)
+    durable: bool = False          # write-ahead log + crash recovery
+    wal_path: str | None = None    # default: f"{path}.wal"
+    wal_sync: str = SYNC_COMMIT    # fsync policy: commit/always/never
+    file_factory: object = None    # testing hook: kind -> file object
 
 
 @dataclass
@@ -145,13 +151,16 @@ class PrixIndex:
         if len(set(doc_ids)) != len(doc_ids):
             raise ValueError("document ids must be unique")
 
-        stats = None
-        if options.path is None:
-            pager = Pager.in_memory(page_size=options.page_size, stats=stats)
+        if options.file_factory is not None:
+            pager = Pager(options.file_factory("data"),
+                          page_size=options.page_size)
+        elif options.path is None:
+            pager = Pager.in_memory(page_size=options.page_size)
         else:
-            pager = Pager.open(options.path, page_size=options.page_size,
-                               stats=stats)
+            pager = Pager.open(options.path, page_size=options.page_size)
         pool = BufferPool(pager, capacity=options.pool_pages)
+        if options.durable:
+            pool.attach_wal(cls._open_wal(options, pager))
         superblock_id, _ = pool.new_page()   # reserved: page 0
         assert superblock_id == 0
         records = RecordStore(pool)
@@ -163,7 +172,32 @@ class PrixIndex:
                 name, documents, options, pool, records, label_dict)
         index = cls(pool, records, label_dict, variants, doc_ids)
         index._options = options
+        if options.durable:
+            # A durable build is one committed batch: persist the
+            # catalog and seal everything behind a COMMIT record so a
+            # crash from here on recovers the complete index, and a
+            # crash before this line recovers an empty one -- never a
+            # torn middle.
+            index.save()
         return index
+
+    @staticmethod
+    def _open_wal(options, pager):
+        """Open the write-ahead log named by ``options``."""
+        if options.file_factory is not None:
+            return WriteAheadLog(options.file_factory("wal"),
+                                 options.page_size, stats=pager.stats,
+                                 sync_policy=options.wal_sync)
+        wal_path = options.wal_path
+        if wal_path is None:
+            if options.path is None:
+                raise ValueError(
+                    "durable=True needs a path (or a file_factory) for "
+                    "the write-ahead log")
+            wal_path = options.path + ".wal"
+        return WriteAheadLog.open(wal_path, options.page_size,
+                                  stats=pager.stats,
+                                  sync_policy=options.wal_sync)
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -182,6 +216,12 @@ class PrixIndex:
         On :class:`RebuildRequiredError` the document's record is already
         cataloged, so :meth:`rebuilt` includes it; until then queries may
         miss the new document (its trie path is incomplete).
+
+        On a ``durable`` index the insert becomes crash-safe at the next
+        :meth:`save`, which seals the trie pages *and* the catalog that
+        locates them in one committed batch -- a crash before that point
+        recovers the pre-insert state, never a document the trie knows
+        but the catalog does not.
         """
         if document.doc_id in set(self._doc_ids):
             raise ValueError(f"document id {document.doc_id} exists")
@@ -294,6 +334,41 @@ class PrixIndex:
         return PrixIndex.build(self.export_documents(), options)
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def commit(self):
+        """Seal the current mutation batch in the write-ahead log.
+
+        No-op (returning None) on a non-durable index; otherwise returns
+        the commit record's LSN.  Under the default ``commit`` fsync
+        policy the batch is durable when this returns.
+
+        Note that a recovered index is reconstructed from the metadata
+        written by :meth:`save`, so committing a mutation *without* a
+        save makes page changes durable that the recovered catalog
+        cannot see.  The durable mutation protocol is
+        ``insert_document()``/``delete_document()`` followed by
+        :meth:`save` (which commits everything in one batch) -- exactly
+        what the ``prix insert``/``prix delete`` commands do.
+        """
+        return self._pool.commit()
+
+    def checkpoint(self):
+        """Flush everything, fsync the data file, truncate the log.
+
+        After a checkpoint the data file alone is a complete, consistent
+        index and recovery has nothing to replay.  Requires
+        ``durable=True``.
+        """
+        self._pool.checkpoint()
+
+    @property
+    def durable(self):
+        """Whether this index runs with a write-ahead log attached."""
+        return self._pool.wal is not None
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
@@ -344,24 +419,97 @@ class PrixIndex:
         self._pool._pager.sync()
 
     @classmethod
-    def open(cls, path, pool_pages=None):
+    def open(cls, path, pool_pages=None, durable=None, wal_path=None,
+             wal_sync=SYNC_COMMIT):
         """Reattach to an index previously built with a ``path`` and
-        :meth:`save`\\ d."""
+        :meth:`save`\\ d.
+
+        When a write-ahead log is present (``{path}.wal`` by default, or
+        ``wal_path``), the committed log tail is replayed into the data
+        file *before* the superblock is read, so an index torn by a
+        crash opens in its last committed state.  ``durable=None``
+        auto-detects from the log file's existence; ``durable=True``
+        keeps logging on the reopened index, ``durable=False`` skips
+        both recovery and logging.
+        """
+        if wal_path is None:
+            wal_path = path + ".wal"
+        if durable is None:
+            durable = os.path.exists(wal_path)
+        if durable:
+            from repro.storage.recovery import recover_path
+            recover_path(path, wal_path)
         # Sanctioned raw read: the superblock must be sniffed before a
         # Pager exists (it stores the page size the Pager needs), and
         # these bytes are re-read through the pool right below, so no
         # counted page access is bypassed.
         with open(path, "rb") as handle:  # prixlint: disable=no-raw-io
             header = handle.read(_SUPERBLOCK.size)
-        if len(header) < _SUPERBLOCK.size:
-            raise ValueError(f"{path} does not contain a PRIX index")
-        magic, page, offset, length, stored_page_size = \
-            _SUPERBLOCK.unpack(header)
-        if magic != _SUPER_MAGIC:
-            raise ValueError(f"{path} does not contain a PRIX index")
+        page, offset, length, stored_page_size = \
+            cls._parse_superblock(header, path)
         pager = Pager.open(path, page_size=stored_page_size)
         pool = BufferPool(pager, capacity=pool_pages
                           or DEFAULT_POOL_PAGES)
+        if durable:
+            pool.attach_wal(WriteAheadLog.open(
+                wal_path, stored_page_size, stats=pager.stats,
+                sync_policy=wal_sync))
+        return cls._attach(pool, page, offset, length)
+
+    @classmethod
+    def open_from(cls, data_file, wal_file=None, pool_pages=None,
+                  wal_sync=SYNC_COMMIT):
+        """Attach to an index held in open file objects.
+
+        The crash-matrix harness uses this to reopen the durable images
+        a simulated crash left behind: when ``wal_file`` is given, its
+        committed tail is replayed into ``data_file`` first (the same
+        recovery pass :meth:`open` runs on paths) and the log stays
+        attached for further durable mutations.
+        """
+        wal = None
+        if wal_file is not None:
+            from repro.storage.recovery import recover
+            from repro.storage.wal import _HEADER
+            wal_file.seek(0)
+            header = WriteAheadLog._parse_header(
+                wal_file.read(_HEADER.size))
+            if header is not None:
+                wal = WriteAheadLog(wal_file, header[1],
+                                    sync_policy=wal_sync)
+                recover(data_file, wal)
+        data_file.seek(0)
+        header = data_file.read(_SUPERBLOCK.size)
+        page, offset, length, stored_page_size = \
+            cls._parse_superblock(header, "data file")
+        pager = Pager(data_file, page_size=stored_page_size)
+        pool = BufferPool(pager, capacity=pool_pages
+                          or DEFAULT_POOL_PAGES)
+        if wal is None and wal_file is not None:
+            # Crash before the log header became durable: start a fresh
+            # generation so the reopened index can keep logging.
+            wal = WriteAheadLog(wal_file, stored_page_size,
+                                sync_policy=wal_sync)
+        if wal is not None:
+            wal.stats = pager.stats
+            pool.attach_wal(wal)
+        return cls._attach(pool, page, offset, length)
+
+    @staticmethod
+    def _parse_superblock(header, origin):
+        """Validate superblock bytes; return (page, offset, length,
+        page_size)."""
+        if len(header) < _SUPERBLOCK.size:
+            raise ValueError(f"{origin} does not contain a PRIX index")
+        magic, page, offset, length, stored_page_size = \
+            _SUPERBLOCK.unpack(header)
+        if magic != _SUPER_MAGIC:
+            raise ValueError(f"{origin} does not contain a PRIX index")
+        return page, offset, length, stored_page_size
+
+    @classmethod
+    def _attach(cls, pool, page, offset, length):
+        """Rebuild the in-memory index from a located metadata record."""
         records = RecordStore(pool)
         meta = json.loads(records.read((page, offset, length)))
 
@@ -389,8 +537,15 @@ class PrixIndex:
                    list(meta["doc_ids"]))
 
     def close(self):
-        """Flush and close the backing file."""
+        """Flush and close the backing file (and the log, if any)."""
         self._pool.flush()
+        wal = self._pool.wal
+        if wal is not None:
+            # flush() committed and ordered the log ahead of the data
+            # pages; fsync the data file too so closing is a durability
+            # point, then release the log handle.
+            self._pool._pager.sync()
+            wal.close()
         self._pool._pager.close()
 
     def __enter__(self):

@@ -1,37 +1,67 @@
-"""Disk storage substrate: pages, buffer pool, B+-tree, record store.
+"""Disk storage substrate: pages, buffer pool, B+-tree, record store,
+write-ahead log.
 
 The paper runs every index (PRIX's Trie-Symbol/Docid indexes, ViST's
 D-Ancestorship index, the XB-trees) on GiST B+-trees over 8 KiB pages with a
 2000-page buffer pool and direct I/O.  This package reproduces that stack in
 pure Python with explicit physical-read accounting so the "Disk IO (pages)"
 columns of Tables 4-9 can be regenerated.
+
+Durability is layered on top (``docs/DURABILITY.md``): an ARIES-lite
+redo-only :class:`WriteAheadLog`, crash :mod:`~repro.storage.recovery`,
+and deterministic fault injection (:class:`FaultSchedule` /
+:class:`FaultyFile`) for the crash-matrix tests.  WAL traffic is counted
+in its own ``IOStats`` fields, so the paper tables are unaffected.
 """
 
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.codec import (decode_key, encode_int, encode_key,
-                                 encode_str)
+                                 encode_str, split_varints)
 from repro.storage.errors import (BufferPoolExhaustedError, PageOverflowError,
-                                  PageSizeError, PinProtocolError,
-                                  StorageError)
+                                  PageRangeError, PageSizeError,
+                                  PinProtocolError, StorageError,
+                                  WalCorruptionError, WalError,
+                                  WalProtocolError)
+from repro.storage.faults import CrashPoint, FaultSchedule, FaultyFile
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
+from repro.storage.recovery import (RecoveryResult, recover, recover_path,
+                                    scan_committed)
 from repro.storage.stats import IOStats
+from repro.storage.wal import (SYNC_ALWAYS, SYNC_COMMIT, SYNC_NEVER,
+                               WriteAheadLog)
 
 __all__ = [
     "BPlusTree",
     "BufferPool",
     "BufferPoolExhaustedError",
+    "CrashPoint",
     "DEFAULT_PAGE_SIZE",
+    "FaultSchedule",
+    "FaultyFile",
     "IOStats",
     "PageOverflowError",
+    "PageRangeError",
     "PageSizeError",
     "Pager",
     "PinProtocolError",
     "RecordStore",
+    "RecoveryResult",
+    "SYNC_ALWAYS",
+    "SYNC_COMMIT",
+    "SYNC_NEVER",
     "StorageError",
+    "WalCorruptionError",
+    "WalError",
+    "WalProtocolError",
+    "WriteAheadLog",
     "decode_key",
     "encode_int",
     "encode_key",
     "encode_str",
+    "recover",
+    "recover_path",
+    "scan_committed",
+    "split_varints",
 ]

@@ -13,7 +13,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 
 from repro.storage.errors import (BufferPoolExhaustedError, PageSizeError,
-                                  PinProtocolError)
+                                  PinProtocolError, WalProtocolError)
 
 #: Pool capacity used by the experiments; matches the paper's 2000 pages.
 DEFAULT_POOL_PAGES = 2000
@@ -31,12 +31,99 @@ class BufferPool:
         self._dirty = set()
         self._decoded = {}  # page_id -> decoded object (frame-resident only)
         self._pins = {}  # page_id -> pin count (> 0; absent means unpinned)
+        self._wal = None
+        self._page_lsn = {}          # page_id -> LSN of last logged image
+        self._wal_uncommitted = set()  # dirtied since the last commit
         self.stats = pager.stats
 
     @property
     def capacity(self):
         """Maximum resident frames."""
         return self._capacity
+
+    # ------------------------------------------------------------------
+    # Write-ahead logging
+    # ------------------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached write-ahead log, or None (non-durable pool)."""
+        return self._wal
+
+    def attach_wal(self, wal):
+        """Make every mutation flow through ``wal`` before the data file.
+
+        From this point on the pool enforces two rules:
+
+        - **no steal**: a page dirtied since the last :meth:`commit` is
+          never written to the data file -- eviction skips it, and a
+          pool full of such pages raises
+          :class:`~repro.storage.errors.BufferPoolExhaustedError`
+          (redo-only recovery cannot undo a stolen write);
+        - **WAL before data**: a committed dirty page reaches the data
+          file only after the log record holding its image is fsynced
+          (:meth:`_write_back` forces the log flush when needed).
+        """
+        if self._wal is not None:
+            raise WalProtocolError("a WAL is already attached")
+        if self._dirty:
+            raise WalProtocolError(
+                "cannot attach a WAL to a pool with unlogged dirty "
+                f"pages {sorted(self._dirty)}; flush first")
+        self._wal = wal
+
+    def commit(self):
+        """Seal the current batch: log every uncommitted page image,
+        append a COMMIT record and (policy permitting) fsync the log.
+
+        Returns the commit LSN, or None when no WAL is attached.  Pages
+        stay dirty in the pool -- the data-file write is deferred to
+        eviction, :meth:`flush` or a checkpoint -- but they become
+        evictable because recovery can now redo them.
+        """
+        if self._wal is None:
+            return None
+        logged = 0
+        for page_id in sorted(self._wal_uncommitted):
+            # Uncommitted pages are exempt from eviction, so the frame
+            # is necessarily still resident.
+            self._page_lsn[page_id] = self._wal.log_page(
+                page_id, self._frames[page_id])
+            logged += 1
+        self._wal_uncommitted.clear()
+        return self._wal.commit(page_count=logged)
+
+    def checkpoint(self):
+        """Fuzzy checkpoint: make the data file self-sufficient, then
+        truncate the log.
+
+        Commits and flushes every dirty page, fsyncs the data file, and
+        starts a fresh log generation.  After it returns, recovery has
+        nothing to redo -- until the next mutation starts a new batch,
+        which may happen immediately (nothing here blocks appends).
+        """
+        if self._wal is None:
+            raise WalProtocolError("checkpoint needs an attached WAL")
+        self.flush()
+        self._pager.sync()
+        self._wal.checkpoint(self._pager.num_pages)
+        self._page_lsn.clear()
+
+    def _note_dirty(self, page_id):
+        """WAL bookkeeping for a freshly dirtied page."""
+        if self._wal is not None:
+            self._wal_uncommitted.add(page_id)
+
+    def _write_back(self, page_id, frame):
+        """Write one dirty frame to the data file, WAL permitting."""
+        if self._wal is not None:
+            if page_id in self._wal_uncommitted:
+                raise WalProtocolError(
+                    f"page {page_id} is dirty but uncommitted; writing "
+                    "it to the data file would steal an uncommitted "
+                    "change that redo-only recovery cannot undo")
+            self._wal.require_durable(self._page_lsn.get(page_id, 0))
+        self._pager.write(page_id, frame)
 
     @property
     def cached_pages(self):
@@ -60,6 +147,7 @@ class BufferPool:
         frame = bytearray(self._pager.page_size)
         self._admit(page_id, frame)
         self._dirty.add(page_id)
+        self._note_dirty(page_id)
         return page_id, frame
 
     def get_decoded(self, page_id, decoder):
@@ -149,6 +237,7 @@ class BufferPool:
             self._frames.move_to_end(page_id)
         frame[:] = data
         self._dirty.add(page_id)
+        self._note_dirty(page_id)
         self._decoded.pop(page_id, None)
 
     def mark_dirty(self, page_id):
@@ -156,28 +245,61 @@ class BufferPool:
         if page_id not in self._frames:
             raise KeyError(f"page {page_id} is not resident")
         self._dirty.add(page_id)
+        self._note_dirty(page_id)
         self._decoded.pop(page_id, None)
+
+    def _evictable(self, page_id):
+        """Whether a frame may leave the pool right now.
+
+        Pinned frames never move; with a WAL attached, dirty frames
+        whose current image is not yet logged (uncommitted) may not be
+        written back either (no steal).
+        """
+        if page_id in self._pins:
+            return False
+        return page_id not in self._wal_uncommitted
 
     def _admit(self, page_id, frame):
         while len(self._frames) >= self._capacity:
             victim_id = next((candidate for candidate in self._frames
-                              if candidate not in self._pins), None)
+                              if self._evictable(candidate)), None)
             if victim_id is None:
+                if self._wal is not None and self._wal_uncommitted:
+                    # Memory pressure forces a batch boundary: under
+                    # no-steal an uncommitted page cannot leave the
+                    # pool, so a batch whose working set outgrows the
+                    # pool is committed early.  Safe for builds (the
+                    # superblock is only written in the final batch, so
+                    # a crash between forced commits recovers to a file
+                    # open() rejects as incomplete); callers that need
+                    # a batch to be all-or-nothing must size the pool
+                    # to hold it.
+                    self.commit()
+                    continue
                 raise BufferPoolExhaustedError(
                     f"all {self._capacity} frames are pinned; cannot "
-                    f"admit page {page_id}")
+                    f"admit page {page_id} (unpin, or grow the pool)")
             victim = self._frames.pop(victim_id)
             if victim_id in self._dirty:
-                self._pager.write(victim_id, victim)
+                self._write_back(victim_id, victim)
                 self._dirty.discard(victim_id)
             self._decoded.pop(victim_id, None)
             self.stats.evictions += 1
         self._frames[page_id] = frame
 
     def flush(self):
-        """Write every dirty page back without evicting anything."""
+        """Write every dirty page back without evicting anything.
+
+        With a WAL attached this is a durability point: the current
+        batch commits first (so every dirty image is logged), the log is
+        fsynced where needed, and only then do pages reach the data
+        file -- WAL-before-data, enforced per page in
+        :meth:`_write_back`.
+        """
+        if self._wal is not None and self._wal_uncommitted:
+            self.commit()
         for page_id in sorted(self._dirty):
-            self._pager.write(page_id, self._frames[page_id])
+            self._write_back(page_id, self._frames[page_id])
         self._dirty.clear()
 
     def flush_and_clear(self):

@@ -89,6 +89,34 @@ def decode_varints(data):
     return numbers
 
 
+def split_varints(data, count, start=0):
+    """Decode exactly ``count`` varints from ``data`` starting at ``start``.
+
+    Returns ``(values, end)`` where ``end`` is the offset just past the
+    last consumed byte -- the remainder of ``data`` is the caller's
+    (the WAL uses this to peel a varint header off a page-image
+    payload without copying the image).  Raises :class:`ValueError` on
+    a truncated stream.
+    """
+    values = []
+    pos = start
+    length = len(data)
+    for _ in range(count):
+        current = 0
+        shift = 0
+        while True:
+            if pos >= length:
+                raise ValueError("truncated varint stream")
+            byte = data[pos]
+            pos += 1
+            current |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        values.append(current)
+    return values, pos
+
+
 def decode_key(data):
     """Decode a composite key back into its component tuple."""
     parts = []

@@ -13,6 +13,44 @@ class PageNotFoundError(StorageError):
     """A page id is outside the allocated range of the file."""
 
 
+class PageRangeError(PageNotFoundError, IndexError):
+    """A read or write referenced a page id outside ``[0, num_pages)``.
+
+    Subclasses :class:`PageNotFoundError` so existing handlers keep
+    working, and :class:`IndexError` because an out-of-range page id is
+    exactly an out-of-range index into the page file.  Raised instead of
+    letting the pager silently extend the file (a write past the end
+    would allocate pages behind the allocator's back) or surfacing a raw
+    ``OSError``/``ValueError`` from a negative seek far from the buggy
+    caller.
+    """
+
+
+class WalError(StorageError):
+    """Base class for write-ahead-log failures."""
+
+
+class WalCorruptionError(WalError):
+    """A WAL frame failed validation somewhere other than the tail.
+
+    A torn *tail* is the expected signature of a crash and is handled by
+    recovery (the tail is discarded); a bad frame with valid frames
+    after it means the log was damaged at rest and replaying past it
+    could resurrect inconsistent pages.
+    """
+
+
+class WalProtocolError(WalError):
+    """The WAL-before-data discipline was violated.
+
+    Raised when a dirty page would reach the data file before the log
+    record covering it is durable, or when an uncommitted dirty page
+    would be stolen (written back mid-transaction) -- the redo-only
+    recovery pass cannot undo stolen writes, so the no-steal rule is
+    load-bearing, not stylistic.
+    """
+
+
 class PageSizeError(StorageError, ValueError):
     """A page image does not match the configured page size.
 

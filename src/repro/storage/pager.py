@@ -11,11 +11,33 @@ from __future__ import annotations
 import io
 import os
 
-from repro.storage.errors import PageNotFoundError
+from repro.storage.errors import PageRangeError
 from repro.storage.stats import IOStats
 
 #: Page size used throughout the reproduction; matches the paper's 8K pages.
 DEFAULT_PAGE_SIZE = 8192
+
+
+def fsync_file(fileobj):
+    """Flush ``fileobj`` and force it to stable storage where supported.
+
+    The single durability barrier used by the pager and the write-ahead
+    log.  A file object may provide its own ``fsync()`` (the fault
+    injector's :class:`~repro.storage.faults.FaultyFile` models the
+    barrier there); otherwise ``os.fsync`` is attempted on the file
+    descriptor and skipped for purely in-memory buffers.
+    """
+    fileobj.flush()
+    own_fsync = getattr(fileobj, "fsync", None)
+    if own_fsync is not None:
+        own_fsync()
+        return
+    fileno = getattr(fileobj, "fileno", None)
+    if fileno is not None:
+        try:
+            os.fsync(fileno())
+        except (OSError, io.UnsupportedOperation):
+            pass
 
 
 class Pager:
@@ -57,19 +79,39 @@ class Pager:
         self.stats.allocations += 1
         return page_id
 
-    def read(self, page_id):
-        """Read one page from the backing file (counted as a physical read)."""
+    def _check_range(self, page_id):
+        """Reject out-of-range page ids with a typed error.
+
+        Without this, a negative id would surface as a raw ``OSError``/
+        ``ValueError`` from the seek, and a too-large id on a write
+        would silently extend the file behind the allocator's back.
+        """
+        if not isinstance(page_id, int) or isinstance(page_id, bool):
+            raise PageRangeError(
+                f"page id must be an int, got {type(page_id).__name__}")
         if not 0 <= page_id < self._num_pages:
-            raise PageNotFoundError(f"page {page_id} is not allocated")
+            raise PageRangeError(
+                f"page {page_id} is out of range [0, {self._num_pages})")
+
+    def read(self, page_id):
+        """Read one page from the backing file (counted as a physical read).
+
+        Raises :class:`PageRangeError` when ``page_id`` is outside the
+        allocated range.
+        """
+        self._check_range(page_id)
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         self.stats.physical_reads += 1
         return bytearray(data)
 
     def write(self, page_id, data):
-        """Write one page back to the file (counted as a physical write)."""
-        if not 0 <= page_id < self._num_pages:
-            raise PageNotFoundError(f"page {page_id} is not allocated")
+        """Write one page back to the file (counted as a physical write).
+
+        Raises :class:`PageRangeError` when ``page_id`` is outside the
+        allocated range.
+        """
+        self._check_range(page_id)
         if len(data) != self.page_size:
             raise ValueError(
                 f"page payload must be exactly {self.page_size} bytes, "
@@ -80,13 +122,7 @@ class Pager:
 
     def sync(self):
         """Flush the underlying file to stable storage where supported."""
-        self._file.flush()
-        fileno = getattr(self._file, "fileno", None)
-        if fileno is not None:
-            try:
-                os.fsync(fileno())
-            except (OSError, io.UnsupportedOperation):
-                pass
+        fsync_file(self._file)
 
     def close(self):
         """Close the backing file."""

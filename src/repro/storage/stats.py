@@ -12,18 +12,29 @@ from dataclasses import dataclass, field
 
 @dataclass
 class IOStats:
-    """Counters for logical and physical page traffic."""
+    """Counters for logical and physical page traffic.
+
+    The ``wal_*`` counters account write-ahead-log traffic separately
+    from page traffic by construction: WAL appends and fsyncs never
+    touch ``physical_reads``/``physical_writes``, so the paper's
+    "Disk IO (pages)" columns stay comparable whether or not an index
+    runs with ``durable=True``.
+    """
 
     physical_reads: int = 0
     physical_writes: int = 0
     logical_reads: int = 0
     evictions: int = 0
     allocations: int = 0
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
+    wal_bytes: int = 0
 
     def snapshot(self):
         """Return an independent copy of the current counters."""
         return IOStats(self.physical_reads, self.physical_writes,
-                       self.logical_reads, self.evictions, self.allocations)
+                       self.logical_reads, self.evictions, self.allocations,
+                       self.wal_appends, self.wal_fsyncs, self.wal_bytes)
 
     def delta(self, earlier):
         """Return the counter increments since ``earlier``."""
@@ -33,6 +44,9 @@ class IOStats:
             self.logical_reads - earlier.logical_reads,
             self.evictions - earlier.evictions,
             self.allocations - earlier.allocations,
+            self.wal_appends - earlier.wal_appends,
+            self.wal_fsyncs - earlier.wal_fsyncs,
+            self.wal_bytes - earlier.wal_bytes,
         )
 
     def reset(self):
@@ -42,6 +56,9 @@ class IOStats:
         self.logical_reads = 0
         self.evictions = 0
         self.allocations = 0
+        self.wal_appends = 0
+        self.wal_fsyncs = 0
+        self.wal_bytes = 0
 
     @property
     def hit_ratio(self):

@@ -532,6 +532,48 @@ class TestStatsReadBeforeFlush:
         """
         assert rule_names(code, [StatsReadBeforeFlushRule]) == []
 
+    def test_wal_side_counter_read_while_dirty_passes(self):
+        # wal_appends counts log traffic, which is already durable the
+        # moment commit() returns -- reading it before a data-side flush
+        # is exactly what recovery and checkpoint code must do.
+        code = """
+            def measure(pager, pid, img):
+                pool = BufferPool(pager)
+                pool.put(pid, img)
+                appended = pool.stats.wal_appends
+                pool.close()
+                return appended
+        """
+        assert rule_names(code, [StatsReadBeforeFlushRule]) == []
+
+    def test_wal_exemption_does_not_mask_page_counters(self):
+        # The WAL carve-out is field-by-field: the page-side counter in
+        # the same expression block is still flagged.
+        code = """
+            def measure(pager, pid, img):
+                pool = BufferPool(pager)
+                pool.put(pid, img)
+                appended = pool.stats.wal_appends
+                writes = pool.stats.physical_writes
+                pool.close()
+                return appended + writes
+        """
+        assert rule_names(code, [StatsReadBeforeFlushRule]) == \
+            ["stats-read-before-flush"]
+
+    def test_flushed_lsn_read_on_dirty_wal_passes(self):
+        # flushed_lsn IS the durability watermark; consulting it while
+        # records are in flight is the protocol, not a violation.
+        code = """
+            def watermark(fileobj, image):
+                wal = WriteAheadLog(fileobj, 4096)
+                wal.append(1, image)
+                mark = wal.flushed_lsn
+                wal.close()
+                return mark
+        """
+        assert rule_names(code, [StatsReadBeforeFlushRule]) == []
+
 
 class TestRegressionOverRepo:
     def test_all_flow_rules_clean_over_src(self):

@@ -52,6 +52,13 @@ class TestNoRawIo:
         assert rule_names("handle = open('f.bin')\n", NoRawIoRule,
                           path="src/repro/storage/pager.py") == []
 
+    def test_wal_module_itself_exempt(self):
+        # wal.py is the second sanctioned raw-I/O gateway: the log file
+        # sits beside the paged data file, below the Pager abstraction.
+        assert rule_names("handle = open('f.idx.wal', 'r+b')\n",
+                          NoRawIoRule,
+                          path="src/repro/storage/wal.py") == []
+
     @pytest.mark.parametrize("path", [
         "src/repro/cli.py", "src/repro/bench/reporting.py",
         "benchmarks/bench_table2_datasets.py",
@@ -206,6 +213,23 @@ class TestResourceSafety:
         # Module-scope singletons live for the process; only function
         # locals are leak-checked.
         code = "POOL = BufferPool(Pager.in_memory())\n"
+        assert rule_names(code, ResourceSafetyRule) == []
+
+    def test_leaked_wal_flagged(self):
+        code = """
+        def log_image(fileobj, image):
+            wal = WriteAheadLog(fileobj, 4096)
+            wal.append(1, image)
+            wal.commit()
+        """
+        assert rule_names(code, ResourceSafetyRule) == ["resource-safety"]
+
+    def test_context_managed_wal_passes(self):
+        code = """
+        def replay_tail(fileobj):
+            with WriteAheadLog(fileobj, 4096) as wal:
+                return list(wal.replay())
+        """
         assert rule_names(code, ResourceSafetyRule) == []
 
 

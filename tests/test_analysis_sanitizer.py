@@ -134,6 +134,47 @@ class TestFlushBeforeStats:
         assert issubclass(sanitizer.SanitizeError, AssertionError)
 
 
+class TestWalOrdering:
+    """The sanitizer's third check: no page image may reach the pager
+    ahead of the write-ahead log (and never while uncommitted)."""
+
+    def make_durable_pool(self):
+        import io
+
+        from repro.storage.wal import SYNC_NEVER, WriteAheadLog
+        pool = make_pool()
+        wal = WriteAheadLog(io.BytesIO(), 32, sync_policy=SYNC_NEVER)
+        pool.attach_wal(wal)
+        return pool
+
+    def test_uncommitted_steal_raises(self, sanitized):
+        pool = self.make_durable_pool()
+        pid, frame = pool.new_page()
+        with pytest.raises(sanitizer.SanitizeError):
+            pool._pager.write(pid, bytes(frame))
+
+    def test_unsynced_commit_raises(self, sanitized):
+        pool = self.make_durable_pool()
+        pid, frame = pool.new_page()
+        pool.commit()  # logged, but SYNC_NEVER: nothing durable yet
+        with pytest.raises(sanitizer.SanitizeError):
+            pool._pager.write(pid, bytes(frame))
+
+    def test_synced_commit_passes(self, sanitized):
+        pool = self.make_durable_pool()
+        pid, frame = pool.new_page()
+        pool.commit()
+        pool.wal.sync()
+        pool._pager.write(pid, bytes(frame))
+        pool.close()
+
+    def test_non_durable_pool_unaffected(self, sanitized):
+        pool = make_pool()
+        pid, frame = pool.new_page()
+        pool._pager.write(pid, bytes(frame))
+        pool.close()
+
+
 class TestEnvActivation:
     def _run(self, env_value):
         env = dict(os.environ)

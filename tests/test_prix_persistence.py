@@ -119,3 +119,56 @@ class TestOpenValidation:
         reopened = PrixIndex.open(path)
         assert reopened.doc_count == 30
         reopened.close()
+
+
+class TestDurablePersistence:
+    def test_durable_roundtrip_with_auto_detect(self, tmp_path):
+        corpus = dblp(40)
+        path = str(tmp_path / "durable.idx")
+        with PrixIndex.build(corpus.documents,
+                             IndexOptions(path=path,
+                                          durable=True)) as index:
+            want = {(m.doc_id, m.canonical)
+                    for m in index.query(QUERIES[2])}
+        # The sidecar .wal makes open() pick durable mode on its own.
+        with PrixIndex.open(path) as reopened:
+            assert reopened._pool.wal is not None
+            got = {(m.doc_id, m.canonical)
+                   for m in reopened.query(QUERIES[2])}
+        assert got == want
+
+    def test_checkpoint_truncates_and_preserves(self, tmp_path):
+        corpus = dblp(40)
+        path = str(tmp_path / "ckpt.idx")
+        with PrixIndex.build(corpus.documents,
+                             IndexOptions(path=path,
+                                          durable=True)) as index:
+            want = {(m.doc_id, m.canonical)
+                    for m in index.query(QUERIES[2])}
+            before = index._pool.wal.size_bytes
+            index.checkpoint()
+            after = index._pool.wal.size_bytes
+        assert after < before
+        with PrixIndex.open(path, durable=True) as reopened:
+            got = {(m.doc_id, m.canonical)
+                   for m in reopened.query(QUERIES[2])}
+        assert got == want
+
+    def test_durable_insert_then_save_survives_reopen(self, tmp_path):
+        from repro.xmlkit.parser import parse_document
+        path = str(tmp_path / "grow.idx")
+        base = [parse_document("<bib><article><author>codd</author>"
+                               "</article></bib>", 1),
+                parse_document("<bib><book><author>date</author>"
+                               "</book></bib>", 2)]
+        extra = parse_document("<bib><article><author>gray</author>"
+                               "</article></bib>", 3)
+        with PrixIndex.build(base,
+                             IndexOptions(path=path, durable=True,
+                                          labeler="dynamic")) as index:
+            index.insert_document(extra)
+            index.save()
+        with PrixIndex.open(path) as reopened:
+            assert reopened.doc_count == 3
+            got = {m.doc_id for m in reopened.query("//article/author")}
+            assert got == {1, 3}

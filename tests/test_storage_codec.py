@@ -5,7 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.storage.codec import (decode_key, decode_varints, encode_int,
-                                 encode_key, encode_str, encode_varints)
+                                 encode_key, encode_str, encode_varints,
+                                 split_varints)
 
 
 class TestIntEncoding:
@@ -71,6 +72,65 @@ class TestVarints:
     def test_truncated_stream_rejected(self):
         with pytest.raises(ValueError):
             decode_varints(b"\x80")
+
+
+class TestBoundaryRoundtrips:
+    """Edges the WAL payload codec leans on (see storage/wal.py)."""
+
+    def test_zero_length_payload_after_varints(self):
+        # A REC_PAGE payload is varint(page_id) + image; an empty
+        # remainder must decode cleanly, not raise.
+        data = encode_varints([42])
+        (values, end) = split_varints(data, 1)
+        assert values == [42]
+        assert data[end:] == b""
+
+    def test_split_reads_exactly_count(self):
+        data = encode_varints([1, 300, 0]) + b"payload"
+        values, end = split_varints(data, 3)
+        assert values == [1, 300, 0]
+        assert data[end:] == b"payload"
+
+    def test_split_with_start_offset(self):
+        data = b"\xff\xff" + encode_varints([7])
+        values, end = split_varints(data, 1, start=2)
+        assert values == [7]
+        assert end == len(data)
+
+    def test_split_truncated_raises(self):
+        with pytest.raises(ValueError):
+            split_varints(b"\x80", 1)
+
+    def test_split_count_beyond_stream_raises(self):
+        with pytest.raises(ValueError):
+            split_varints(encode_varints([5]), 2)
+
+    def test_max_width_varints(self):
+        # 2**64 - 1 needs ten 7-bit groups: the widest varint the page
+        # ids and commit sequence numbers can ever produce.
+        top = 2 ** 64 - 1
+        encoded = encode_varints([top, 0, top])
+        assert len(encoded) == 10 + 1 + 10
+        values, end = split_varints(encoded, 3)
+        assert values == [top, 0, top]
+        assert end == len(encoded)
+
+    def test_single_byte_boundary(self):
+        assert len(encode_varints([127])) == 1
+        assert len(encode_varints([128])) == 2
+
+    def test_non_ascii_tags_roundtrip(self):
+        for tag in ("bücher", "記事", "café-menu"):
+            assert decode_key(encode_key(tag, 3)) == (tag, 3)
+
+    def test_non_ascii_order_is_bytewise(self):
+        tags = sorted(["a", "z", "é", "記"],
+                      key=lambda t: t.encode("utf-8"))
+        encoded = [encode_str(t) for t in tags]
+        assert encoded == sorted(encoded)
+
+    def test_empty_string_component(self):
+        assert decode_key(encode_key("", 0)) == ("", 0)
 
 
 @settings(max_examples=200, deadline=None)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.storage.errors import PageNotFoundError
+from repro.storage.errors import PageNotFoundError, PageRangeError
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 
 
@@ -80,3 +80,55 @@ class TestFileBacked:
             pager.sync()
         with pytest.raises(ValueError):
             Pager.open(path, page_size=48)
+
+
+class TestPageRange:
+    """Out-of-range page ids raise the typed PageRangeError -- which is
+    both a PageNotFoundError (storage taxonomy) and an IndexError
+    (sequence idiom), so either catch-site keeps working."""
+
+    def test_read_past_end_raises_page_range_error(self):
+        with Pager.in_memory(page_size=64) as pager:
+            pager.allocate()
+            with pytest.raises(PageRangeError):
+                pager.read(1)
+
+    def test_write_past_end_raises_page_range_error(self):
+        with Pager.in_memory(page_size=64) as pager:
+            pager.allocate()
+            with pytest.raises(PageRangeError):
+                pager.write(5, b"\x00" * 64)
+
+    def test_negative_page_id_raises(self):
+        with Pager.in_memory(page_size=64) as pager:
+            pager.allocate()
+            with pytest.raises(PageRangeError):
+                pager.read(-1)
+
+    def test_range_error_is_page_not_found(self):
+        with Pager.in_memory(page_size=64) as pager:
+            with pytest.raises(PageNotFoundError):
+                pager.read(0)
+
+    def test_range_error_is_index_error(self):
+        with Pager.in_memory(page_size=64) as pager:
+            with pytest.raises(IndexError):
+                pager.read(0)
+
+    def test_error_names_the_bounds(self):
+        with Pager.in_memory(page_size=64) as pager:
+            pager.allocate()
+            with pytest.raises(PageRangeError, match=r"\[0, 1\)"):
+                pager.write(9, b"\x00" * 64)
+
+    def test_non_int_page_id_rejected(self):
+        with Pager.in_memory(page_size=64) as pager:
+            pager.allocate()
+            with pytest.raises(PageRangeError):
+                pager.read(True)
+
+    def test_in_range_unaffected(self):
+        with Pager.in_memory(page_size=64) as pager:
+            pid = pager.allocate()
+            pager.write(pid, b"\x01" * 64)
+            assert bytes(pager.read(pid)) == b"\x01" * 64

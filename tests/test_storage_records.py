@@ -1,5 +1,7 @@
 """Record store tests: packing, spanning, I/O cost."""
 
+from contextlib import contextmanager
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,85 +11,86 @@ from repro.storage.pager import Pager
 from repro.storage.records import RecordStore
 
 
-def make_store(page_size=128):
-    pool = BufferPool(Pager.in_memory(page_size=page_size))
-    return RecordStore(pool), pool
+@contextmanager
+def open_store(page_size=128):
+    with BufferPool(Pager.in_memory(page_size=page_size)) as pool:
+        yield RecordStore(pool), pool
 
 
 class TestBasics:
     def test_roundtrip(self):
-        store, _ = make_store()
-        rid = store.append(b"hello world")
-        assert store.read(rid) == b"hello world"
+        with open_store() as (store, _):
+            rid = store.append(b"hello world")
+            assert store.read(rid) == b"hello world"
 
     def test_empty_blob(self):
-        store, _ = make_store()
-        rid = store.append(b"")
-        assert store.read(rid) == b""
+        with open_store() as (store, _):
+            rid = store.append(b"")
+            assert store.read(rid) == b""
 
     def test_non_bytes_rejected(self):
-        store, _ = make_store()
-        with pytest.raises(TypeError):
-            store.append("text")
+        with open_store() as (store, _):
+            with pytest.raises(TypeError):
+                store.append("text")
 
     def test_many_records_roundtrip(self):
-        store, _ = make_store()
-        blobs = [bytes([i]) * (i % 40) for i in range(100)]
-        rids = [store.append(blob) for blob in blobs]
-        for rid, blob in zip(rids, blobs):
-            assert store.read(rid) == blob
+        with open_store() as (store, _):
+            blobs = [bytes([i]) * (i % 40) for i in range(100)]
+            rids = [store.append(blob) for blob in blobs]
+            for rid, blob in zip(rids, blobs):
+                assert store.read(rid) == blob
 
 
 class TestPacking:
     def test_small_records_share_pages(self):
-        store, pool = make_store(page_size=128)
-        rids = [store.append(b"x" * 10) for _ in range(10)]
-        pages = {rid[0] for rid in rids}
-        assert len(pages) == 1  # 10 x 10 bytes pack into one 128B page
+        with open_store(page_size=128) as (store, pool):
+            rids = [store.append(b"x" * 10) for _ in range(10)]
+            pages = {rid[0] for rid in rids}
+            assert len(pages) == 1  # 10 x 10 bytes pack into one 128B page
 
     def test_packed_reads_cost_one_page(self):
-        store, pool = make_store(page_size=128)
-        rids = [store.append(b"y" * 10) for _ in range(8)]
-        pool.flush_and_clear()
-        before = pool.stats.physical_reads
-        for rid in rids:
-            store.read(rid)
-        assert pool.stats.physical_reads - before == 1
+        with open_store(page_size=128) as (store, pool):
+            rids = [store.append(b"y" * 10) for _ in range(8)]
+            pool.flush_and_clear()
+            before = pool.stats.physical_reads
+            for rid in rids:
+                store.read(rid)
+            assert pool.stats.physical_reads - before == 1
 
     def test_pages_for_small(self):
-        store, _ = make_store(page_size=128)
-        rid = store.append(b"z" * 10)
-        assert store.pages_for(rid) == 1
+        with open_store(page_size=128) as (store, _):
+            rid = store.append(b"z" * 10)
+            assert store.pages_for(rid) == 1
 
 
 class TestSpanning:
     def test_large_record_spans_pages(self):
-        store, _ = make_store(page_size=128)
-        blob = bytes(range(256)) + b"tail" * 30
-        rid = store.append(blob)
-        assert store.read(rid) == blob
-        assert store.pages_for(rid) == -(-len(blob) // 128)
+        with open_store(page_size=128) as (store, _):
+            blob = bytes(range(256)) + b"tail" * 30
+            rid = store.append(blob)
+            assert store.read(rid) == blob
+            assert store.pages_for(rid) == -(-len(blob) // 128)
 
     def test_mixed_sizes(self):
-        store, _ = make_store(page_size=128)
-        small = store.append(b"s" * 5)
-        big = store.append(b"B" * 1000)
-        small2 = store.append(b"t" * 5)
-        assert store.read(small) == b"s" * 5
-        assert store.read(big) == b"B" * 1000
-        assert store.read(small2) == b"t" * 5
+        with open_store(page_size=128) as (store, _):
+            small = store.append(b"s" * 5)
+            big = store.append(b"B" * 1000)
+            small2 = store.append(b"t" * 5)
+            assert store.read(small) == b"s" * 5
+            assert store.read(big) == b"B" * 1000
+            assert store.read(small2) == b"t" * 5
 
     def test_exact_page_size_record(self):
-        store, _ = make_store(page_size=128)
-        rid = store.append(b"e" * 128)
-        assert store.read(rid) == b"e" * 128
-        assert store.pages_for(rid) == 1
+        with open_store(page_size=128) as (store, _):
+            rid = store.append(b"e" * 128)
+            assert store.read(rid) == b"e" * 128
+            assert store.pages_for(rid) == 1
 
 
 @settings(max_examples=50, deadline=None)
 @given(st.lists(st.binary(max_size=400), max_size=30))
 def test_record_store_roundtrip_property(blobs):
-    store, _ = make_store(page_size=128)
-    rids = [store.append(blob) for blob in blobs]
-    for rid, blob in zip(rids, blobs):
-        assert store.read(rid) == blob
+    with open_store(page_size=128) as (store, _):
+        rids = [store.append(blob) for blob in blobs]
+        for rid, blob in zip(rids, blobs):
+            assert store.read(rid) == blob

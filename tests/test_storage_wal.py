@@ -1,0 +1,220 @@
+"""Write-ahead log tests: framing, LSNs, sync policies, checkpoints.
+
+The log's contract is narrow but absolute: a record whose LSN is below
+``flushed_lsn`` is durable and will be yielded by ``replay()`` exactly
+as written; anything after a torn frame is never yielded at all.
+"""
+
+import io
+
+import pytest
+
+from repro.storage.errors import WalCorruptionError, WalError
+from repro.storage.wal import (REC_CHECKPOINT, REC_COMMIT, REC_PAGE,
+                               SYNC_ALWAYS, SYNC_COMMIT, SYNC_NEVER,
+                               WriteAheadLog, _FRAME, _HEADER)
+
+PAGE = 64
+
+
+def make_wal(sync_policy=SYNC_COMMIT, page_size=PAGE):
+    return WriteAheadLog(io.BytesIO(), page_size, sync_policy=sync_policy)
+
+
+def image(fill, page_size=PAGE):
+    return bytes([fill]) * page_size
+
+
+class TestFraming:
+    def test_empty_log_replays_nothing(self):
+        with make_wal() as wal:
+            assert list(wal.replay()) == []
+
+    def test_page_record_roundtrip(self):
+        with make_wal() as wal:
+            wal.log_page(7, image(0xAB))
+            (record,) = wal.replay()
+            assert record.rtype == REC_PAGE
+            assert record.page_image() == (7, image(0xAB))
+
+    def test_records_replay_in_order(self):
+        with make_wal() as wal:
+            wal.log_page(1, image(1))
+            wal.log_page(2, image(2))
+            wal.commit(page_count=2)
+            types = [r.rtype for r in wal.replay()]
+            assert types == [REC_PAGE, REC_PAGE, REC_COMMIT]
+
+    def test_wrong_size_image_rejected(self):
+        with make_wal() as wal:
+            with pytest.raises(WalError):
+                wal.log_page(0, b"short")
+
+    def test_page_image_on_commit_record_rejected(self):
+        with make_wal() as wal:
+            wal.commit()
+            (record,) = wal.replay()
+            with pytest.raises(WalError):
+                record.page_image()
+
+
+class TestLsn:
+    def test_lsns_are_strictly_increasing(self):
+        with make_wal() as wal:
+            lsns = [wal.log_page(i, image(i)) for i in range(5)]
+            assert lsns == sorted(set(lsns))
+
+    def test_commit_advances_flushed_lsn(self):
+        with make_wal() as wal:
+            wal.log_page(0, image(0))
+            assert wal.flushed_lsn < wal.next_lsn
+            wal.commit(page_count=1)
+            assert wal.flushed_lsn == wal.next_lsn
+
+    def test_require_durable_forces_sync(self):
+        with make_wal(sync_policy=SYNC_NEVER) as wal:
+            lsn = wal.log_page(0, image(0))
+            assert lsn >= wal.flushed_lsn
+            wal.require_durable(lsn)
+            assert lsn < wal.flushed_lsn
+
+    def test_require_durable_noop_when_already_durable(self):
+        with make_wal() as wal:
+            lsn = wal.log_page(0, image(0))
+            wal.sync()
+            fsyncs = wal.stats.wal_fsyncs
+            wal.require_durable(lsn)
+            assert wal.stats.wal_fsyncs == fsyncs
+
+
+class TestSyncPolicies:
+    def test_always_syncs_every_append(self):
+        with make_wal(sync_policy=SYNC_ALWAYS) as wal:
+            wal.log_page(0, image(0))
+            wal.log_page(1, image(1))
+            assert wal.stats.wal_fsyncs == 2
+
+    def test_commit_policy_syncs_only_commits(self):
+        with make_wal(sync_policy=SYNC_COMMIT) as wal:
+            wal.log_page(0, image(0))
+            assert wal.stats.wal_fsyncs == 0
+            wal.commit(page_count=1)
+            assert wal.stats.wal_fsyncs == 1
+
+    def test_never_policy_never_syncs_implicitly(self):
+        with make_wal(sync_policy=SYNC_NEVER) as wal:
+            wal.log_page(0, image(0))
+            wal.commit(page_count=1)
+            assert wal.stats.wal_fsyncs == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            WriteAheadLog(io.BytesIO(), PAGE, sync_policy="sometimes")
+
+
+def log_bytes_with_tail():
+    """A log holding ``PAGE(0) COMMIT PAGE(1)``; returns (bytes, offset
+    of the last record)."""
+    buf = io.BytesIO()
+    wal = WriteAheadLog(buf, PAGE)
+    wal.log_page(0, image(0))
+    wal.commit(page_count=1)
+    end = wal.size_bytes
+    wal.log_page(1, image(1))
+    raw = buf.getvalue()
+    wal.close()
+    return raw, end
+
+
+class TestTornTail:
+    def test_torn_frame_ends_replay(self):
+        raw, end = log_bytes_with_tail()
+        # Tear the last record: keep the frame header, lose payload bytes.
+        with WriteAheadLog(io.BytesIO(raw[:end + _FRAME.size + 3]),
+                           PAGE) as wal:
+            assert [r.rtype for r in wal.replay()] == [REC_PAGE, REC_COMMIT]
+
+    def test_corrupt_crc_ends_replay(self):
+        raw, end = log_bytes_with_tail()
+        flipped = bytearray(raw)
+        flipped[end + _FRAME.size] ^= 0xFF  # flip a payload byte
+        with WriteAheadLog(io.BytesIO(bytes(flipped)), PAGE) as wal:
+            assert [r.rtype for r in wal.replay()] == [REC_PAGE, REC_COMMIT]
+
+    def test_reattach_truncates_torn_tail_and_appends(self):
+        raw, end = log_bytes_with_tail()
+        with WriteAheadLog(io.BytesIO(raw[:end + 5]), PAGE) as wal:
+            # The torn record is gone; new appends continue cleanly.
+            wal.log_page(2, image(2))
+            wal.commit(page_count=1)
+            pages = [r.page_image()[0] for r in wal.replay()
+                     if r.rtype == REC_PAGE]
+            assert pages == [0, 2]
+
+    def test_bad_header_refused_for_appends(self):
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(io.BytesIO(b"NOTAWAL!" + b"\x00" * 32), PAGE)
+
+    def test_page_size_mismatch_refused(self):
+        raw, _ = log_bytes_with_tail()
+        with pytest.raises(WalError):
+            WriteAheadLog(io.BytesIO(raw), PAGE * 2)
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_and_keeps_lsn_monotonic(self):
+        with make_wal() as wal:
+            for i in range(4):
+                wal.log_page(i, image(i))
+            wal.commit(page_count=4)
+            before = wal.next_lsn
+            wal.checkpoint(num_pages=4)
+            assert wal.size_bytes < before
+            assert wal.next_lsn >= before  # LSNs never restart
+
+    def test_checkpoint_record_survives(self):
+        with make_wal() as wal:
+            wal.log_page(0, image(0))
+            wal.commit(page_count=1)
+            wal.checkpoint(num_pages=1)
+            (record,) = wal.replay()
+            assert record.rtype == REC_CHECKPOINT
+
+    def test_appends_resume_after_checkpoint(self):
+        with make_wal() as wal:
+            wal.log_page(0, image(0))
+            wal.commit(page_count=1)
+            wal.checkpoint(num_pages=1)
+            wal.log_page(5, image(5))
+            wal.commit(page_count=1)
+            pages = [r.page_image()[0] for r in wal.replay()
+                     if r.rtype == REC_PAGE]
+            assert pages == [5]
+
+
+class TestAccounting:
+    def test_wal_counters_move_page_counters_do_not(self):
+        with make_wal() as wal:
+            wal.log_page(0, image(0))
+            wal.commit(page_count=1)
+            stats = wal.stats
+            assert stats.wal_appends == 2
+            assert stats.wal_fsyncs == 1
+            assert stats.wal_bytes > 2 * _FRAME.size
+            assert stats.physical_reads == 0
+            assert stats.physical_writes == 0
+
+    def test_open_creates_file_and_reattaches(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        with WriteAheadLog.open(path, PAGE) as wal:
+            wal.log_page(3, image(3))
+            wal.commit(page_count=1)
+        with WriteAheadLog.open(path, PAGE) as wal:
+            pages = [r.page_image()[0] for r in wal.replay()
+                     if r.rtype == REC_PAGE]
+            assert pages == [3]
+
+    def test_header_size_is_stable(self):
+        # The recovery module peeks exactly this many bytes; a format
+        # change must bump the version, not silently shift the layout.
+        assert _HEADER.size == 24
