@@ -55,16 +55,20 @@ DIRTY_METHODS = frozenset({"put", "mark_dirty", "new_page",
 STAT_FIELDS = frozenset({"physical_reads", "physical_writes",
                          "logical_reads", "evictions", "allocations",
                          "hit_ratio", "wal_appends", "wal_fsyncs",
-                         "wal_bytes"})
+                         "wal_bytes", "guard_verifications",
+                         "guard_repairs", "guard_quarantines"})
 
 #: Log-side durability fields, exempt from ``stats-read-before-flush``.
 #: A WAL append or fsync is counted at the instant it happens, and
 #: ``wal.flushed_lsn`` *is* the current disk state -- reading any of
 #: these while data pages are still dirty is exactly what recovery and
 #: the WAL-before-data check must do, not the stale-counter bug the
-#: rule hunts.
+#: rule hunts.  The checksum guard's counters are side-channel in the
+#: same way: a verification or repair is counted at the instant the
+#: guard performs it, independent of dirty-page state.
 WAL_SIDE_FIELDS = frozenset({"wal_appends", "wal_fsyncs", "wal_bytes",
-                             "flushed_lsn"})
+                             "flushed_lsn", "guard_verifications",
+                             "guard_repairs", "guard_quarantines"})
 
 #: IOStats methods whose result captures the counters.
 STAT_READ_METHODS = frozenset({"snapshot", "delta"})

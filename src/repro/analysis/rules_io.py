@@ -33,14 +33,15 @@ class NoRawIoRule(ImportTracker, Rule):
 
     Any ``open()`` / ``os.*`` / ``io.open`` call in ``repro.storage``,
     ``repro.prix`` or ``repro.trie`` bypasses the pager and silently
-    corrupts the physical-read accounting.  Two gateways are sanctioned
-    and exempt: ``pager.py`` (page traffic, counted in
-    ``physical_reads``/``physical_writes``) and ``wal.py`` (log traffic,
+    corrupts the physical-read accounting.  Three gateways are
+    sanctioned and exempt: ``pager.py`` (page traffic, counted in
+    ``physical_reads``/``physical_writes``), ``wal.py`` (log traffic,
     counted in ``wal_appends``/``wal_bytes``; deliberately *not* page
-    traffic, see ``docs/DURABILITY.md``).  Any other legitimate
-    exception (e.g. the superblock sniff in ``prix/index.py``) must
-    carry an explicit ``# prixlint: disable=no-raw-io`` so reviewers
-    see it.
+    traffic, see ``docs/DURABILITY.md``) and ``guard.py`` (checksum-
+    sidecar traffic, counted in ``guard_*``; see
+    ``docs/ROBUSTNESS.md``).  Any other legitimate exception (e.g. the
+    superblock sniff in ``prix/index.py``) must carry an explicit
+    ``# prixlint: disable=no-raw-io`` so reviewers see it.
     """
 
     name = "no-raw-io"
@@ -49,7 +50,7 @@ class NoRawIoRule(ImportTracker, Rule):
     watched_modules = ("os", "io")
 
     def applies_to(self, source):
-        if PurePath(source.path).name in ("pager.py", "wal.py"):
+        if PurePath(source.path).name in ("pager.py", "wal.py", "guard.py"):
             return False
         return path_in_packages(source, PAGED_PACKAGES)
 
@@ -72,7 +73,7 @@ class NoRawIoRule(ImportTracker, Rule):
 
 #: Classes whose instances own a file handle or dirty pages.
 TRACKED_HANDLES = frozenset({"Pager", "BufferPool", "PrixIndex",
-                             "WriteAheadLog"})
+                             "WriteAheadLog", "PageGuard"})
 
 
 def _tracked_constructor(node):

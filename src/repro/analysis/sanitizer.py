@@ -25,6 +25,13 @@ Checks added while enabled:
   (``wal.flushed_lsn``, the WAL-before-data invariant).  This catches
   code that writes through the pager directly, bypassing the pool's
   ``_write_back`` where the static rules look.
+- **guard trust**: when a checksum guard is attached to the pager,
+  ``BufferPool.get()`` asserts the image it hands out is *trusted* --
+  stamped, checksum-verified, or WAL-repaired by the
+  :class:`~repro.storage.guard.PageGuard` (see ``docs/ROBUSTNESS.md``).
+  An untrusted image reaching the matcher means some path smuggled
+  bytes around the verification gateway, which would let silent
+  corruption into query answers.
 
 Enable programmatically::
 
@@ -82,11 +89,13 @@ def enable():
         return
     _saved["pool_init"] = BufferPool.__init__
     _saved["pool_close"] = BufferPool.close
+    _saved["pool_get"] = BufferPool.get
     _saved["stats_snapshot"] = IOStats.snapshot
     _saved["pager_write"] = Pager.write
 
     original_init = _saved["pool_init"]
     original_close = _saved["pool_close"]
+    original_get = _saved["pool_get"]
     original_snapshot = _saved["stats_snapshot"]
     original_write = _saved["pager_write"]
 
@@ -101,6 +110,18 @@ def enable():
                 f"pages {sorted(self._pins)}; every pin() needs a "
                 "matching unpin() before the pool goes away")
         original_close(self)
+
+    def get(self, page_id):
+        frame = original_get(self, page_id)
+        guard = self._pager.guard
+        if guard is not None and not guard.is_trusted(page_id):
+            raise SanitizeError(
+                f"sanitizer: BufferPool.get({page_id}) is handing out a "
+                "page image the checksum guard never verified; every "
+                "image the matcher consumes must be stamped, verified, "
+                "or WAL-repaired -- some path smuggled bytes around the "
+                "guard.admit() gateway")
+        return frame
 
     def snapshot(self):
         for pool in list(_pools):
@@ -135,6 +156,7 @@ def enable():
 
     BufferPool.__init__ = init
     BufferPool.close = close
+    BufferPool.get = get
     IOStats.snapshot = snapshot
     Pager.write = write
 
@@ -145,6 +167,7 @@ def disable():
         return
     BufferPool.__init__ = _saved.pop("pool_init")
     BufferPool.close = _saved.pop("pool_close")
+    BufferPool.get = _saved.pop("pool_get")
     IOStats.snapshot = _saved.pop("stats_snapshot")
     Pager.write = _saved.pop("pager_write")
     _saved.clear()

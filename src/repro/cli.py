@@ -20,9 +20,18 @@ import argparse
 import sys
 
 from repro.datasets import get_corpus, list_corpora
+from repro.prix.budget import BudgetExceededError, QueryBudget
 from repro.prix.index import IndexOptions, PrixIndex
 from repro.query.xpath import parse_xpath
+from repro.storage.errors import CorruptionError, StorageError, WalError
 from repro.xmlkit.parser import parse_document, split_documents
+
+#: Exit codes: 1 = generic failure, 2 = usage error or missing file,
+#: 3 = corruption or recovery failure.  Scripts (and the CI smoke
+#: steps) branch on these, so they are part of the CLI's contract.
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_CORRUPTION = 3
 
 
 def _cmd_build(args):
@@ -45,16 +54,19 @@ def _cmd_build(args):
         print(f"parsed {len(documents)} document(s)")
     else:
         print("error: provide XML files or --corpus", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     options = IndexOptions(path=args.index,
                            page_size=args.page_size,
                            labeler=args.labeler,
-                           durable=args.durable)
+                           durable=args.durable,
+                           guard=args.guard)
     index = PrixIndex.build(documents, options)
     index.save()
     if index.durable:
         print(f"write-ahead log at {args.index}.wal")
+    if args.guard:
+        print(f"checksum sidecar at {args.index}.sum")
     for variant in index.variants():
         stats = index.trie_stats(variant)
         print(f"  {variant}: {stats.node_count} trie nodes over "
@@ -64,26 +76,50 @@ def _cmd_build(args):
     return 0
 
 
+def _make_budget(args):
+    """Assemble a QueryBudget from the ``--budget-*`` flags, or None."""
+    budget = QueryBudget(
+        max_range_queries=args.budget_range_queries,
+        max_physical_reads=args.budget_reads,
+        max_candidates=args.budget_candidates,
+        deadline_seconds=(args.budget_ms / 1000.0
+                          if args.budget_ms is not None else None))
+    return None if budget.unlimited else budget
+
+
 def _cmd_query(args):
     index = PrixIndex.open(args.index)
     try:
         pattern = parse_xpath(args.xpath)
         matches, stats = index.query_with_stats(
             pattern, ordered=args.ordered, variant=args.variant,
-            use_maxgap=not args.no_maxgap, cold=args.cold)
+            use_maxgap=not args.no_maxgap, cold=args.cold,
+            budget=_make_budget(args))
         by_doc = {}
         for match in matches:
             by_doc.setdefault(match.doc_id, []).append(match)
-        print(f"{len(matches)} match(es) in {len(by_doc)} document(s)")
-        limit = args.limit
-        shown = 0
-        for doc_id in sorted(by_doc):
-            for match in by_doc[doc_id]:
-                if shown >= limit:
-                    print(f"  ... ({len(matches) - shown} more)")
-                    return 0
-                print(f"  doc {doc_id}: {dict(match.images)}")
-                shown += 1
+        if getattr(matches, "approximate", False):
+            # The degradation contract (docs/ROBUSTNESS.md): these are
+            # the filter phase's candidate documents, a guaranteed
+            # superset of the exact answer's documents (Theorems 1-2).
+            print(f"approximate result: {len(by_doc)} candidate "
+                  f"document(s), a superset of the exact answer")
+            print(f"  degraded: {matches.degradation_reason}")
+            for doc_id in sorted(by_doc)[:args.limit]:
+                print(f"  doc {doc_id} (unrefined candidate)")
+            if len(by_doc) > args.limit:
+                print(f"  ... ({len(by_doc) - args.limit} more)")
+        else:
+            print(f"{len(matches)} match(es) in {len(by_doc)} document(s)")
+            limit = args.limit
+            shown = 0
+            for doc_id in sorted(by_doc):
+                for match in by_doc[doc_id]:
+                    if shown >= limit:
+                        print(f"  ... ({len(matches) - shown} more)")
+                        return 0
+                    print(f"  doc {doc_id}: {dict(match.images)}")
+                    shown += 1
         if args.explain:
             print(f"\nvariant={stats.variant} strategy={stats.strategy} "
                   f"arrangements={stats.arrangements}")
@@ -180,6 +216,14 @@ def _cmd_checkpoint(args):
     return 0
 
 
+def _cmd_scrub(args):
+    from repro.storage.guard import scrub_path
+    report = scrub_path(args.index, wal_path=args.wal,
+                        stamp_missing=args.stamp)
+    print(report.render())
+    return 0 if report.healthy else EXIT_CORRUPTION
+
+
 def _cmd_lint(args):
     from repro.analysis.runner import run_lint
     return run_lint(args)
@@ -229,6 +273,10 @@ def make_parser():
                        help="write-ahead log every mutation to "
                             "INDEX.wal so a crash is recoverable "
                             "with 'prix recover'")
+    build.add_argument("--guard", action="store_true",
+                       help="keep per-page checksums in INDEX.sum; "
+                            "reads verify, repair from the WAL, or fail "
+                            "with a typed corruption error")
     build.set_defaults(func=_cmd_build)
 
     query = commands.add_parser("query", help="run a twig query")
@@ -246,6 +294,19 @@ def make_parser():
                        help="max matches to print")
     query.add_argument("--explain", action="store_true",
                        help="print execution statistics")
+    query.add_argument("--budget-range-queries", type=int, default=None,
+                       metavar="N",
+                       help="cap trie range queries (exceeding during "
+                            "filtering is an error)")
+    query.add_argument("--budget-reads", type=int, default=None,
+                       metavar="N", help="cap physical page reads")
+    query.add_argument("--budget-candidates", type=int, default=None,
+                       metavar="N",
+                       help="cap refinement candidates; exceeding "
+                            "returns the filter superset as an "
+                            "approximate result")
+    query.add_argument("--budget-ms", type=float, default=None,
+                       metavar="MS", help="wall-clock deadline in ms")
     query.set_defaults(func=_cmd_query)
 
     insert = commands.add_parser(
@@ -291,6 +352,18 @@ def make_parser():
                             help="log file (default: INDEX.wal)")
     checkpoint.set_defaults(func=_cmd_checkpoint)
 
+    scrub = commands.add_parser(
+        "scrub", help="sweep every page and the catalog of an index, "
+                      "verifying checksums and repairing from the WAL "
+                      "where possible")
+    scrub.add_argument("index", help="index file")
+    scrub.add_argument("--wal", default=None,
+                       help="log file to repair from (default: INDEX.wal)")
+    scrub.add_argument("--stamp", action="store_true",
+                       help="adopt unstamped pages: checksum their "
+                            "current content so later reads are verified")
+    scrub.set_defaults(func=_cmd_scrub)
+
     from repro.analysis.runner import add_lint_arguments
     lint = commands.add_parser(
         "lint", help="run prixlint static invariant checks "
@@ -301,13 +374,35 @@ def make_parser():
 
 
 def main(argv=None):
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Failures surface as one-line typed errors, never tracebacks, with
+    the code telling scripts *what kind* of failure: ``EXIT_USAGE`` (2)
+    for a missing input file, ``EXIT_CORRUPTION`` (3) for checksum,
+    superblock, or write-ahead-log corruption (including recovery
+    failures), ``EXIT_ERROR`` (1) for everything else.
+    """
     args = make_parser().parse_args(argv)
     try:
         return args.func(args)
+    except CorruptionError as error:
+        print(f"error [{type(error).__name__}]: {error}", file=sys.stderr)
+        return EXIT_CORRUPTION
+    except FileNotFoundError as error:
+        name = error.filename if error.filename else error
+        print(f"error [missing file]: {name}", file=sys.stderr)
+        return EXIT_USAGE
+    except BudgetExceededError as error:
+        print(f"error [budget]: {error}", file=sys.stderr)
+        return EXIT_ERROR
+    except StorageError as error:
+        # WAL corruption and protocol failures during recover/open.
+        code = EXIT_CORRUPTION if isinstance(error, WalError) else EXIT_ERROR
+        print(f"error [{type(error).__name__}]: {error}", file=sys.stderr)
+        return code
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -126,7 +126,8 @@ def _maxgap_admits(kind, gap, max_gap):
 
 
 def find_subsequences(plan, symbol_index, docid_index, root_range,
-                      maxgap_table=None, stats=None, granularity="label"):
+                      maxgap_table=None, stats=None, granularity="label",
+                      budget=None):
     """Run Algorithm 1: yield ``(doc_ids, positions)`` candidates.
 
     Args:
@@ -142,6 +143,10 @@ def find_subsequences(plan, symbol_index, docid_index, root_range,
             bounds over the documents passing through that node only and
             therefore prunes at least as hard.
         stats: optional :class:`FilterStats` to accumulate work counters.
+        budget: optional :class:`~repro.prix.budget.BudgetMeter`; every
+            range query and trie node visited is a cancellation point.
+            Exhaustion here raises (it cannot degrade: an incomplete
+            filter pass may have dismissed true matches).
     """
     if stats is None:
         stats = FilterStats()
@@ -153,9 +158,13 @@ def find_subsequences(plan, symbol_index, docid_index, root_range,
 
     def recurse(i, lo, hi, prev_bound):
         stats.range_queries += 1
+        if budget is not None:
+            budget.charge_range_query()
         for left, right, level, node_gap in symbol_index.range_query_gaps(
                 qlps[i], lo, hi):
             stats.nodes_visited += 1
+            if budget is not None:
+                budget.checkpoint()
             if maxgap_table is not None and i > 0:
                 kind = plan.rel_kinds[i - 1]
                 if kind != REL_UNPRUNABLE:

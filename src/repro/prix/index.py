@@ -60,6 +60,8 @@ class IndexOptions:
     durable: bool = False          # write-ahead log + crash recovery
     wal_path: str | None = None    # default: f"{path}.wal"
     wal_sync: str = SYNC_COMMIT    # fsync policy: commit/always/never
+    guard: bool = False            # per-page checksums + read-repair
+    guard_path: str | None = None  # default: f"{path}.sum"
     file_factory: object = None    # testing hook: kind -> file object
 
 
@@ -151,13 +153,16 @@ class PrixIndex:
         if len(set(doc_ids)) != len(doc_ids):
             raise ValueError("document ids must be unique")
 
+        guard = cls._open_guard(options) if options.guard else None
         if options.file_factory is not None:
             pager = Pager(options.file_factory("data"),
-                          page_size=options.page_size)
+                          page_size=options.page_size, guard=guard)
         elif options.path is None:
-            pager = Pager.in_memory(page_size=options.page_size)
+            pager = Pager.in_memory(page_size=options.page_size,
+                                    guard=guard)
         else:
-            pager = Pager.open(options.path, page_size=options.page_size)
+            pager = Pager.open(options.path, page_size=options.page_size,
+                               guard=guard)
         pool = BufferPool(pager, capacity=options.pool_pages)
         if options.durable:
             pool.attach_wal(cls._open_wal(options, pager))
@@ -180,6 +185,20 @@ class PrixIndex:
             # torn middle.
             index.save()
         return index
+
+    @staticmethod
+    def _open_guard(options):
+        """Open the checksum sidecar named by ``options``."""
+        from repro.storage.guard import PageGuard
+        if options.file_factory is not None:
+            return PageGuard(options.file_factory("guard"),
+                             options.page_size)
+        if options.path is None:
+            return PageGuard.in_memory(options.page_size)
+        guard_path = options.guard_path
+        if guard_path is None:
+            guard_path = options.path + ".sum"
+        return PageGuard.open(guard_path, options.page_size)
 
     @staticmethod
     def _open_wal(options, pager):
@@ -420,7 +439,7 @@ class PrixIndex:
 
     @classmethod
     def open(cls, path, pool_pages=None, durable=None, wal_path=None,
-             wal_sync=SYNC_COMMIT):
+             wal_sync=SYNC_COMMIT, guard=None, guard_path=None):
         """Reattach to an index previously built with a ``path`` and
         :meth:`save`\\ d.
 
@@ -431,14 +450,23 @@ class PrixIndex:
         auto-detects from the log file's existence; ``durable=True``
         keeps logging on the reopened index, ``durable=False`` skips
         both recovery and logging.
+
+        ``guard`` follows the same convention for the checksum sidecar
+        (``{path}.sum`` by default, or ``guard_path``): ``None``
+        auto-detects an existing sidecar, ``True`` opens (creating if
+        needed) one, ``False`` reads unverified.
         """
         if wal_path is None:
             wal_path = path + ".wal"
+        if guard_path is None:
+            guard_path = path + ".sum"
         if durable is None:
             durable = os.path.exists(wal_path)
+        if guard is None:
+            guard = os.path.exists(guard_path)
         if durable:
             from repro.storage.recovery import recover_path
-            recover_path(path, wal_path)
+            recover_path(path, wal_path, guard_path=guard_path)
         # Sanctioned raw read: the superblock must be sniffed before a
         # Pager exists (it stores the page size the Pager needs), and
         # these bytes are re-read through the pool right below, so no
@@ -447,7 +475,12 @@ class PrixIndex:
             header = handle.read(_SUPERBLOCK.size)
         page, offset, length, stored_page_size = \
             cls._parse_superblock(header, path)
-        pager = Pager.open(path, page_size=stored_page_size)
+        page_guard = None
+        if guard:
+            from repro.storage.guard import PageGuard
+            page_guard = PageGuard.open(guard_path, stored_page_size)
+        pager = Pager.open(path, page_size=stored_page_size,
+                           guard=page_guard)
         pool = BufferPool(pager, capacity=pool_pages
                           or DEFAULT_POOL_PAGES)
         if durable:
@@ -458,15 +491,21 @@ class PrixIndex:
 
     @classmethod
     def open_from(cls, data_file, wal_file=None, pool_pages=None,
-                  wal_sync=SYNC_COMMIT):
+                  wal_sync=SYNC_COMMIT, guard_file=None):
         """Attach to an index held in open file objects.
 
         The crash-matrix harness uses this to reopen the durable images
         a simulated crash left behind: when ``wal_file`` is given, its
         committed tail is replayed into ``data_file`` first (the same
         recovery pass :meth:`open` runs on paths) and the log stays
-        attached for further durable mutations.
+        attached for further durable mutations.  ``guard_file`` likewise
+        attaches a checksum sidecar held in an open file object (the
+        corruption-matrix harness reopens the sidecar that survived the
+        simulated fault alongside the data image).
         """
+        guard = None
+        if guard_file is not None:
+            from repro.storage.guard import PageGuard
         wal = None
         if wal_file is not None:
             from repro.storage.recovery import recover
@@ -477,12 +516,16 @@ class PrixIndex:
             if header is not None:
                 wal = WriteAheadLog(wal_file, header[1],
                                     sync_policy=wal_sync)
-                recover(data_file, wal)
+                if guard_file is not None:
+                    guard = PageGuard(guard_file, header[1])
+                recover(data_file, wal, guard=guard)
         data_file.seek(0)
         header = data_file.read(_SUPERBLOCK.size)
         page, offset, length, stored_page_size = \
             cls._parse_superblock(header, "data file")
-        pager = Pager(data_file, page_size=stored_page_size)
+        if guard_file is not None and guard is None:
+            guard = PageGuard(guard_file, stored_page_size)
+        pager = Pager(data_file, page_size=stored_page_size, guard=guard)
         pool = BufferPool(pager, capacity=pool_pages
                           or DEFAULT_POOL_PAGES)
         if wal is None and wal_file is not None:
@@ -498,13 +541,19 @@ class PrixIndex:
     @staticmethod
     def _parse_superblock(header, origin):
         """Validate superblock bytes; return (page, offset, length,
-        page_size)."""
+        page_size).
+
+        Raises :class:`~repro.storage.errors.SuperblockError` (a
+        ``ValueError`` subclass, so pre-existing handlers keep working)
+        when the bytes are not a PRIX superblock.
+        """
+        from repro.storage.errors import SuperblockError
         if len(header) < _SUPERBLOCK.size:
-            raise ValueError(f"{origin} does not contain a PRIX index")
+            raise SuperblockError(f"{origin} does not contain a PRIX index")
         magic, page, offset, length, stored_page_size = \
             _SUPERBLOCK.unpack(header)
         if magic != _SUPER_MAGIC:
-            raise ValueError(f"{origin} does not contain a PRIX index")
+            raise SuperblockError(f"{origin} does not contain a PRIX index")
         return page, offset, length, stored_page_size
 
     @classmethod
@@ -681,8 +730,11 @@ class PrixIndex:
                                      name != VARIANT_REGULAR))
 
     def query(self, pattern, *, ordered=False, variant=None,
-              use_maxgap=True, strategy="auto", maxgap_granularity=None):
-        """Find all occurrences of a twig; return ``[TwigMatch, ...]``.
+              use_maxgap=True, strategy="auto", maxgap_granularity=None,
+              budget=None):
+        """Find all occurrences of a twig; return a
+        :class:`~repro.prix.matcher.QueryResult` (a list of
+        ``TwigMatch``).
 
         Args:
             pattern: a :class:`~repro.query.twig.TwigPattern` or an XPath
@@ -694,21 +746,29 @@ class PrixIndex:
             use_maxgap: apply Theorem 4 pruning (default on).
             strategy: ``"trie"`` / ``"document"`` / ``"auto"`` -- see
                 :func:`repro.prix.matcher.run_query`.
+            budget: a :class:`~repro.prix.budget.QueryBudget` (or an
+                already-started ``BudgetMeter``).  If refinement runs
+                out of budget the result comes back with
+                ``approximate=True`` -- a guaranteed superset of the
+                exact answer's documents, never a silent wrong answer;
+                running out during filtering raises
+                :class:`~repro.prix.budget.BudgetExceededError`.
         """
         matches, _ = self.query_with_stats(
             pattern, ordered=ordered, variant=variant,
             use_maxgap=use_maxgap, strategy=strategy,
-            maxgap_granularity=maxgap_granularity)
+            maxgap_granularity=maxgap_granularity, budget=budget)
         return matches
 
     def query_with_stats(self, pattern, *, ordered=False, variant=None,
                          use_maxgap=True, strategy="auto",
-                         maxgap_granularity=None, cold=False):
+                         maxgap_granularity=None, cold=False, budget=None):
         """Like :meth:`query` but also return a ``QueryStats``.
 
         ``cold=True`` flushes the buffer pool first, so ``physical_reads``
         reports cold-cache page I/O the way the paper measures it.
         """
+        from repro.prix.budget import QueryBudget
         if isinstance(pattern, str):
             pattern = parse_xpath(pattern)
         if variant is None:
@@ -721,6 +781,10 @@ class PrixIndex:
             options = getattr(self, "_options", None)
             maxgap_granularity = (options.maxgap_granularity
                                   if options else "label")
+        meter = budget
+        if isinstance(budget, QueryBudget):
+            meter = (None if budget.unlimited
+                     else budget.meter(io_stats=self._pool.stats))
         variant_index = self._variants[variant]
         stats = QueryStats(variant=variant)
         reads_before = self._pool.stats.physical_reads
@@ -728,7 +792,8 @@ class PrixIndex:
         matches, stats = run_query(
             pattern, variant_index, self._view_loader(variant_index),
             ordered=ordered, use_maxgap=use_maxgap, strategy=strategy,
-            maxgap_granularity=maxgap_granularity, stats=stats)
+            maxgap_granularity=maxgap_granularity, stats=stats,
+            budget=meter)
         stats.elapsed_seconds = time.perf_counter() - started
         stats.physical_reads = self._pool.stats.physical_reads - reads_before
         return matches, stats

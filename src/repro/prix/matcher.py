@@ -4,12 +4,20 @@ A :class:`TwigMatch` is one occurrence of the twig in one document: an
 injective mapping from the query's named nodes to postorder numbers of the
 document (in its original, non-extended numbering).  Matches found under
 different branch arrangements (Section 5.7) are deduplicated here.
+
+The driver runs the paper's two phases strictly in order -- *all*
+filtering (Theorems 1-2: a complete superset, no false dismissals), then
+refinement -- so that a :class:`~repro.prix.budget.QueryBudget` running
+out mid-refinement can degrade gracefully: the untouched filter output
+is returned as an approximate :class:`QueryResult` instead of a partial
+exact answer (see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.prix.budget import BudgetExceededError, PHASE_REFINEMENT
 from repro.prix.filtering import FilterStats, find_subsequences
 from repro.prix.plan import build_plan
 from repro.prix.refinement import refine
@@ -58,6 +66,39 @@ class QueryStats:
     matches: int = 0
     physical_reads: int = 0
     elapsed_seconds: float = 0.0
+    approximate: bool = False
+    degradation_reason: object = None  # DegradationReason when degraded
+
+
+class QueryResult(list):
+    """Query answer: a list of :class:`TwigMatch` plus a result contract.
+
+    A plain ``list`` subclass so every existing caller (equality against
+    literals, ``len``, iteration) is untouched.  Two extra attributes
+    carry the degradation contract:
+
+    - ``approximate`` -- False for an exact answer.  True means the
+      query's budget ran out during refinement and the entries are the
+      *filter phase's* candidate documents: one doc-level
+      :class:`TwigMatch` per candidate document, with empty ``images``
+      (no embedding was verified).  By Theorems 1-2 the filter has no
+      false dismissals, so the documents listed are a guaranteed
+      **superset** of the exact answer's documents -- never a silently
+      wrong or incomplete one.
+    - ``degradation_reason`` -- the structured
+      :class:`~repro.prix.budget.DegradationReason` (None when exact).
+    """
+
+    def __init__(self, matches=(), approximate=False,
+                 degradation_reason=None):
+        super().__init__(matches)
+        self.approximate = approximate
+        self.degradation_reason = degradation_reason
+
+    @property
+    def doc_ids(self):
+        """Sorted distinct document ids in the result."""
+        return sorted({match.doc_id for match in self})
 
 
 #: Document-at-a-time fallback thresholds: the rarest query label must
@@ -69,8 +110,8 @@ RARE_LABEL_DOC_LIMIT = 256
 
 def run_query(pattern, variant_index, view_loader, *, ordered=False,
               use_maxgap=True, strategy="auto", maxgap_granularity="label",
-              stats=None):
-    """Match ``pattern`` against one variant index; return TwigMatches.
+              stats=None, budget=None):
+    """Match ``pattern`` against one variant index; return a QueryResult.
 
     Args:
         pattern: a :class:`~repro.query.twig.TwigPattern`.
@@ -89,6 +130,12 @@ def run_query(pattern, variant_index, view_loader, *, ordered=False,
             match's document must contain every LPS(Q) label, so the
             fallback is answer-equivalent.
         stats: optional :class:`QueryStats` to fill in.
+        budget: optional :class:`~repro.prix.budget.BudgetMeter`.
+            Exhaustion during filtering propagates as
+            :class:`~repro.prix.budget.BudgetExceededError` (an
+            incomplete filter pass may have false dismissals);
+            exhaustion during refinement returns the filter's candidate
+            documents as an ``approximate=True`` superset instead.
     """
     if stats is None:
         stats = QueryStats()
@@ -106,17 +153,49 @@ def run_query(pattern, variant_index, view_loader, *, ordered=False,
     if strategy in ("auto", "document") and plans:
         candidate_docs = _rare_label_candidates(
             plans[0], variant_index,
-            force=(strategy == "document"))
+            force=(strategy == "document"), budget=budget)
     use_documents = candidate_docs is not None
     stats.strategy = "document" if use_documents else "trie"
 
+    views = {}
+
+    # ---- Phase 1: filtering (complete, no false dismissals) ----------
+    # Candidates accumulate as (plan, doc_id, positions) in exactly the
+    # order the interleaved pipeline used to refine them, so a budget-
+    # free run produces byte-identical results.
+    pending = []
+    if use_documents:
+        stats.candidate_documents = len(candidate_docs)
+        for doc_id in sorted(candidate_docs):
+            view = view_loader(doc_id)
+            views[doc_id] = view
+            lps_seq = _document_lps(view)
+            for plan in plans:
+                for positions in _subsequences_in_document(
+                        lps_seq, plan, maxgap_table, stats.filter,
+                        budget=budget):
+                    pending.append((plan, doc_id, positions))
+    else:
+        for plan in plans:
+            candidates, _ = find_subsequences(
+                plan, variant_index.symbol_index,
+                variant_index.docid_index, variant_index.root_range,
+                maxgap_table=maxgap_table, stats=stats.filter,
+                granularity=maxgap_granularity, budget=budget)
+            for doc_ids, positions in candidates:
+                for doc_id in doc_ids:
+                    pending.append((plan, doc_id, positions))
+
+    # ---- Phase 2: refinement (budget exhaustion degrades) ------------
+    if budget is not None:
+        budget.enter_refinement()
     seen = set()
     matches = []
-    views = {}
+    degraded = None
 
     def emit(plan, view, doc_id, positions):
         stats.candidates_refined += 1
-        embeddings = refine(plan, view, positions)
+        embeddings = refine(plan, view, positions, budget=budget)
         if embeddings:
             stats.candidates_accepted += 1
         for embedding in embeddings:
@@ -128,36 +207,35 @@ def run_query(pattern, variant_index, view_loader, *, ordered=False,
                 matches.append(TwigMatch(doc_id=doc_id, images=images,
                                          canonical=canonical))
 
-    if use_documents:
-        stats.candidate_documents = len(candidate_docs)
-        for doc_id in sorted(candidate_docs):
-            view = view_loader(doc_id)
-            views[doc_id] = view
-            lps_seq = _document_lps(view)
-            for plan in plans:
-                for positions in _subsequences_in_document(
-                        lps_seq, plan, maxgap_table, stats.filter):
-                    emit(plan, view, doc_id, positions)
-    else:
-        for plan in plans:
-            candidates, _ = find_subsequences(
-                plan, variant_index.symbol_index,
-                variant_index.docid_index, variant_index.root_range,
-                maxgap_table=maxgap_table, stats=stats.filter,
-                granularity=maxgap_granularity)
-            for doc_ids, positions in candidates:
-                for doc_id in doc_ids:
-                    view = views.get(doc_id)
-                    if view is None:
-                        view = view_loader(doc_id)
-                        views[doc_id] = view
-                    emit(plan, view, doc_id, positions)
+    for plan, doc_id, positions in pending:
+        try:
+            if budget is not None:
+                budget.charge_candidate()
+            view = views.get(doc_id)
+            if view is None:
+                view = view_loader(doc_id)
+                views[doc_id] = view
+            emit(plan, view, doc_id, positions)
+        except BudgetExceededError as error:
+            assert error.reason.phase == PHASE_REFINEMENT
+            degraded = error.reason
+            break
+
+    if degraded is not None:
+        superset = sorted({doc_id for _, doc_id, _ in pending})
+        result = QueryResult(
+            (TwigMatch(doc_id=doc_id, images=()) for doc_id in superset),
+            approximate=True, degradation_reason=degraded)
+        stats.approximate = True
+        stats.degradation_reason = degraded
+        stats.matches = len(result)
+        return result, stats
 
     stats.matches = len(matches)
-    return matches, stats
+    return QueryResult(matches), stats
 
 
-def _rare_label_candidates(plan, variant_index, force=False):
+def _rare_label_candidates(plan, variant_index, force=False, budget=None):
     """Documents containing the rarest LPS(Q) label, or None.
 
     A document's LPS passes through a trie node exactly when the
@@ -174,10 +252,14 @@ def _rare_label_candidates(plan, variant_index, force=False):
         return set()
     if not force and node_count > RARE_LABEL_NODE_LIMIT:
         return None
+    if budget is not None:
+        budget.charge_range_query()
     docs = set()
     for left, right, _ in variant_index.symbol_index.range_query_full(
             rare_label, variant_index.root_range[0],
             variant_index.root_range[1]):
+        if budget is not None:
+            budget.charge_range_query()
         docs.update(variant_index.docid_index.documents_in(left, right))
         if not force and len(docs) > RARE_LABEL_DOC_LIMIT:
             return None
@@ -189,7 +271,8 @@ def _document_lps(view):
     return [view.labels[view.nps[i]] for i in range(1, view.n_nodes)]
 
 
-def _subsequences_in_document(lps_seq, plan, maxgap_table, filter_stats):
+def _subsequences_in_document(lps_seq, plan, maxgap_table, filter_stats,
+                              budget=None):
     """Enumerate subsequence occurrences of LPS(Q) inside one document.
 
     Applies the same Theorem 4 gap bounds as the trie filter, so the two
@@ -214,6 +297,8 @@ def _subsequences_in_document(lps_seq, plan, maxgap_table, filter_stats):
             if position <= after:
                 continue
             filter_stats.nodes_visited += 1
+            if budget is not None:
+                budget.checkpoint()
             if maxgap_table is not None and index > 0:
                 kind = plan.rel_kinds[index - 1]
                 if kind != REL_UNPRUNABLE:

@@ -116,13 +116,18 @@ def _walk_chain(view, start, target, spec):
         steps += 1
 
 
-def refine(plan, view, positions):
+def refine(plan, view, positions, budget=None):
     """Run all refinement phases on one candidate subsequence.
 
     Returns the list of embeddings (dict: match-tree node number ->
     data postorder number, in the *view's* numbering), or an empty list
-    when the candidate is rejected.
+    when the candidate is rejected.  ``budget`` (a
+    :class:`~repro.prix.budget.BudgetMeter`) adds cancellation points at
+    entry and inside the leaf-combination enumeration -- the only loop
+    here whose size is not bounded by the query length.
     """
+    if budget is not None:
+        budget.checkpoint()
     nps = view.nps
     n_positions = len(positions)
     images = [nps[s] for s in positions]  # N: images of the query parents
@@ -213,6 +218,8 @@ def refine(plan, view, positions):
     seen = set()
     embeddings = []
     for combo in itertools.product(*leaf_choices):
+        if budget is not None:
+            budget.checkpoint()
         if len(set(combo)) != len(combo):
             continue
         if base_values.intersection(combo):

@@ -12,18 +12,31 @@ redo-only :class:`WriteAheadLog`, crash :mod:`~repro.storage.recovery`,
 and deterministic fault injection (:class:`FaultSchedule` /
 :class:`FaultyFile`) for the crash-matrix tests.  WAL traffic is counted
 in its own ``IOStats`` fields, so the paper tables are unaffected.
+
+Corruption safety sits beside it (``docs/ROBUSTNESS.md``): a
+:class:`PageGuard` checksums every page on write-back and verifies on
+read, repairing from the WAL's committed images or quarantining with a
+typed :class:`PageCorruptionError`; :func:`scrub_path` sweeps a whole
+index; :func:`inject_corruption` supplies the seeded bit-flip /
+zero-page / misdirected-write faults the corruption-matrix tests run
+under.  Guard traffic, like WAL traffic, never touches the page
+counters.
 """
 
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.codec import (decode_key, encode_int, encode_key,
-                                 encode_str, split_varints)
-from repro.storage.errors import (BufferPoolExhaustedError, PageOverflowError,
+                                 encode_str, page_checksum, split_varints)
+from repro.storage.errors import (BufferPoolExhaustedError, CorruptionError,
+                                  PageCorruptionError, PageOverflowError,
                                   PageRangeError, PageSizeError,
                                   PinProtocolError, StorageError,
-                                  WalCorruptionError, WalError,
-                                  WalProtocolError)
-from repro.storage.faults import CrashPoint, FaultSchedule, FaultyFile
+                                  SuperblockError, WalCorruptionError,
+                                  WalError, WalProtocolError)
+from repro.storage.faults import (CrashPoint, FaultSchedule, FaultyFile,
+                                  corruption_plan, inject_corruption)
+from repro.storage.guard import (PageGuard, ScrubReport, scrub, scrub_path,
+                                 wal_repair_source)
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
 from repro.storage.recovery import (RecoveryResult, recover, recover_path,
@@ -36,11 +49,14 @@ __all__ = [
     "BPlusTree",
     "BufferPool",
     "BufferPoolExhaustedError",
+    "CorruptionError",
     "CrashPoint",
     "DEFAULT_PAGE_SIZE",
     "FaultSchedule",
     "FaultyFile",
     "IOStats",
+    "PageCorruptionError",
+    "PageGuard",
     "PageOverflowError",
     "PageRangeError",
     "PageSizeError",
@@ -51,17 +67,25 @@ __all__ = [
     "SYNC_ALWAYS",
     "SYNC_COMMIT",
     "SYNC_NEVER",
+    "ScrubReport",
     "StorageError",
+    "SuperblockError",
     "WalCorruptionError",
     "WalError",
     "WalProtocolError",
     "WriteAheadLog",
+    "corruption_plan",
     "decode_key",
     "encode_int",
     "encode_key",
     "encode_str",
+    "inject_corruption",
+    "page_checksum",
     "recover",
     "recover_path",
     "scan_committed",
+    "scrub",
+    "scrub_path",
     "split_varints",
+    "wal_repair_source",
 ]

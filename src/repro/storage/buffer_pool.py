@@ -71,6 +71,12 @@ class BufferPool:
                 "cannot attach a WAL to a pool with unlogged dirty "
                 f"pages {sorted(self._dirty)}; flush first")
         self._wal = wal
+        guard = self._pager.guard
+        if guard is not None:
+            # The log's committed images become the guard's read-repair
+            # source: the same trust base recovery replays from.
+            from repro.storage.guard import wal_repair_source
+            guard.attach_repair_source(wal_repair_source(wal))
 
     def commit(self):
         """Seal the current batch: log every uncommitted page image,
@@ -239,6 +245,10 @@ class BufferPool:
         self._dirty.add(page_id)
         self._note_dirty(page_id)
         self._decoded.pop(page_id, None)
+        if self._pager.guard is not None:
+            # The caller authored this full image, so it is the page's
+            # new truth; the checksum stamp follows at write-back.
+            self._pager.guard.trust(page_id)
 
     def mark_dirty(self, page_id):
         """Flag an in-place mutation of the cached page image."""

@@ -14,6 +14,7 @@ encoding here guarantees that:
 from __future__ import annotations
 
 import struct
+import zlib
 
 _INT_MARK = b"\x01"
 _STR_MARK = b"\x02"
@@ -22,6 +23,23 @@ _INT_STRUCT = struct.Struct(">Q")
 #: Largest integer representable in a key (matches the 8-byte ranges the
 #: paper uses to label virtual-trie nodes).
 MAX_KEY_INT = 2 ** 64 - 1
+
+
+#: Struct mixing a page id into its checksum.
+_PAGE_ID_STRUCT = struct.Struct(">Q")
+
+
+def page_checksum(page_id, payload):
+    """crc32 of a page payload, salted with its page id.
+
+    Folding the page id into the checksum is what catches *misdirected*
+    writes: a page written whole and intact but at the wrong offset has
+    a perfectly self-consistent payload, so a payload-only checksum
+    would verify it happily.  Salting with the id the reader expects
+    makes the swap fail verification at both landing sites.
+    """
+    return zlib.crc32(payload, zlib.crc32(
+        _PAGE_ID_STRUCT.pack(page_id))) & 0xFFFFFFFF
 
 
 def encode_int(number):

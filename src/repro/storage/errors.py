@@ -81,3 +81,41 @@ class BufferPoolExhaustedError(StorageError):
     Hitting this means pins are being held across too much work (or
     leaked); the cure is narrower pin scopes, not a bigger pool.
     """
+
+
+class CorruptionError(StorageError):
+    """Base class for at-rest corruption detected by the checksum guard.
+
+    Distinct from :class:`WalProtocolError`-style programming errors:
+    corruption is an *environmental* failure (bit rot, torn hardware,
+    a misdirected write) that the engine must surface as a typed,
+    catchable condition -- never as a silently wrong query answer.
+    """
+
+
+class PageCorruptionError(CorruptionError):
+    """A page image failed checksum verification and could not be
+    repaired from the write-ahead log.
+
+    Carries the page id so operators can correlate with ``prix scrub``
+    output.  Once raised for a page, the guard quarantines that id:
+    further reads fail fast with this error instead of re-verifying (and
+    potentially handing out) a known-bad image.
+    """
+
+    def __init__(self, page_id, message=None, quarantined=False):
+        self.page_id = page_id
+        self.quarantined = quarantined
+        if message is None:
+            message = (f"page {page_id} is quarantined" if quarantined
+                       else f"page {page_id} failed checksum verification")
+        super().__init__(message)
+
+
+class SuperblockError(CorruptionError, ValueError):
+    """The index superblock or catalog is missing or unreadable.
+
+    Subclasses :class:`ValueError` so pre-guard callers that caught the
+    old untyped superblock failure keep working, while new callers (the
+    CLI's exit-code mapping, ``prix scrub``) can treat it as corruption.
+    """

@@ -136,6 +136,70 @@ class FaultSchedule:
                 "drop_fsyncs": self.drop_fsyncs, "ops_seen": self.ops}
 
 
+#: At-rest corruption kinds the injector can apply to a durable image.
+KIND_BIT_FLIP = "bit-flip"
+KIND_ZERO_PAGE = "zero-page"
+KIND_MISDIRECTED_WRITE = "misdirected-write"
+
+CORRUPTION_KINDS = (KIND_BIT_FLIP, KIND_ZERO_PAGE, KIND_MISDIRECTED_WRITE)
+
+
+def corruption_plan(seed, point, num_pages, page_size):
+    """Seeded decision of *what* corruption lands *where*.
+
+    ``point`` plays the role ``crash_at`` plays for crashes: sweeping it
+    enumerates distinct corruptions under one seed.  Returns a dict
+    describing the corruption (a JSON-ready reproduction recipe, like
+    :meth:`FaultSchedule.describe`), or None when the file has no pages.
+    """
+    if num_pages <= 0:
+        return None
+    kind = CORRUPTION_KINDS[_mix(seed, point, "corrupt-kind")
+                            % len(CORRUPTION_KINDS)]
+    page_id = _mix(seed, point, "corrupt-page") % num_pages
+    plan = {"seed": seed, "point": point, "kind": kind, "page": page_id}
+    if kind == KIND_BIT_FLIP:
+        plan["byte"] = _mix(seed, point, "corrupt-byte") % page_size
+        plan["bit"] = _mix(seed, point, "corrupt-bit") % 8
+    elif kind == KIND_MISDIRECTED_WRITE:
+        if num_pages == 1:
+            # Nowhere to misdirect from; degrade to zeroing the page.
+            plan["kind"] = KIND_ZERO_PAGE
+        else:
+            source = _mix(seed, point, "corrupt-source") % num_pages
+            if source == page_id:
+                source = (source + 1) % num_pages
+            plan["source"] = source
+    return plan
+
+
+def inject_corruption(data, page_size, seed, point):
+    """Deterministically corrupt one page of an at-rest page image.
+
+    Models the failures the checksum guard exists to catch: a flipped
+    bit (media rot), a zeroed page (a lost write over a trimmed block),
+    or a misdirected write (another page's intact image landing at the
+    wrong offset -- the case a payload-only checksum would miss, see
+    :func:`repro.storage.codec.page_checksum`).  Returns
+    ``(corrupted_bytes, plan)`` where ``plan`` is the recipe from
+    :func:`corruption_plan` (None, with the data unchanged, for an empty
+    file).
+    """
+    plan = corruption_plan(seed, point, len(data) // page_size, page_size)
+    if plan is None:
+        return bytes(data), None
+    data = bytearray(data)
+    start = plan["page"] * page_size
+    if plan["kind"] == KIND_BIT_FLIP:
+        data[start + plan["byte"]] ^= 1 << plan["bit"]
+    elif plan["kind"] == KIND_ZERO_PAGE:
+        data[start:start + page_size] = b"\x00" * page_size
+    else:
+        source = plan["source"] * page_size
+        data[start:start + page_size] = data[source:source + page_size]
+    return bytes(data), plan
+
+
 class FaultyFile:
     """In-memory file with a volatile/durable split and fault hooks.
 

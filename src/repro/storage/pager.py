@@ -41,29 +41,51 @@ def fsync_file(fileobj):
 
 
 class Pager:
-    """Allocates, reads and writes fixed-size pages of a single file."""
+    """Allocates, reads and writes fixed-size pages of a single file.
 
-    def __init__(self, fileobj, page_size=DEFAULT_PAGE_SIZE, stats=None):
+    An optional :class:`~repro.storage.guard.PageGuard` may be attached
+    (``guard=`` or :meth:`attach_guard`); the pager then stamps every
+    page it writes and verifies -- repairing or quarantining on mismatch
+    -- every page it reads.  Guard bookkeeping is side-channel traffic:
+    it never changes ``physical_reads``/``physical_writes``.
+    """
+
+    def __init__(self, fileobj, page_size=DEFAULT_PAGE_SIZE, stats=None,
+                 guard=None):
         self._file = fileobj
         self.page_size = page_size
         self.stats = stats if stats is not None else IOStats()
+        self.guard = None
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % page_size != 0:
             raise ValueError(
                 f"file size {size} is not a multiple of page size {page_size}")
         self._num_pages = size // page_size
+        if guard is not None:
+            self.attach_guard(guard)
 
     @classmethod
-    def open(cls, path, page_size=DEFAULT_PAGE_SIZE, stats=None):
+    def open(cls, path, page_size=DEFAULT_PAGE_SIZE, stats=None, guard=None):
         """Open (or create) a pager over the file at ``path``."""
         mode = "r+b" if os.path.exists(path) else "w+b"
-        return cls(open(path, mode), page_size=page_size, stats=stats)
+        return cls(open(path, mode), page_size=page_size, stats=stats,
+                   guard=guard)
 
     @classmethod
-    def in_memory(cls, page_size=DEFAULT_PAGE_SIZE, stats=None):
+    def in_memory(cls, page_size=DEFAULT_PAGE_SIZE, stats=None, guard=None):
         """Create a pager over an in-memory buffer (tests, small corpora)."""
-        return cls(io.BytesIO(), page_size=page_size, stats=stats)
+        return cls(io.BytesIO(), page_size=page_size, stats=stats,
+                   guard=guard)
+
+    def attach_guard(self, guard):
+        """Attach a checksum guard; it adopts this pager's stats."""
+        if guard.page_size != self.page_size:
+            raise ValueError(
+                f"guard page size {guard.page_size} does not match pager "
+                f"page size {self.page_size}")
+        guard.stats = self.stats
+        self.guard = guard
 
     @property
     def num_pages(self):
@@ -73,10 +95,13 @@ class Pager:
     def allocate(self):
         """Extend the file by one zeroed page and return its id."""
         page_id = self._num_pages
+        zero = b"\x00" * self.page_size
         self._file.seek(page_id * self.page_size)
-        self._file.write(b"\x00" * self.page_size)
+        self._file.write(zero)
         self._num_pages += 1
         self.stats.allocations += 1
+        if self.guard is not None:
+            self.guard.stamp(page_id, zero)
         return page_id
 
     def _check_range(self, page_id):
@@ -96,14 +121,35 @@ class Pager:
     def read(self, page_id):
         """Read one page from the backing file (counted as a physical read).
 
-        Raises :class:`PageRangeError` when ``page_id`` is outside the
-        allocated range.
+        With a guard attached the image is checksum-verified before it
+        is handed out; a mismatching page is repaired from the newest
+        committed WAL image where possible, and otherwise raises a typed
+        :class:`~repro.storage.errors.PageCorruptionError` (quarantining
+        the page).  Raises :class:`PageRangeError` when ``page_id`` is
+        outside the allocated range.
         """
         self._check_range(page_id)
+        if self.guard is not None:
+            # Fail fast on a known-bad page, before spending (and
+            # counting) a physical read on bytes already condemned.
+            self.guard.check_quarantine(page_id)
         self._file.seek(page_id * self.page_size)
         data = self._file.read(self.page_size)
         self.stats.physical_reads += 1
+        if self.guard is not None:
+            data = self.guard.admit(page_id, data, self)
         return bytearray(data)
+
+    def read_raw(self, page_id):
+        """Read one page without verification or read accounting.
+
+        Guard-internal escape hatch (scrub adoption stamps current
+        content; there is nothing yet to verify against).  Everything
+        else must go through :meth:`read`.
+        """
+        self._check_range(page_id)
+        self._file.seek(page_id * self.page_size)
+        return bytearray(self._file.read(self.page_size))
 
     def write(self, page_id, data):
         """Write one page back to the file (counted as a physical write).
@@ -119,14 +165,36 @@ class Pager:
         self._file.seek(page_id * self.page_size)
         self._file.write(bytes(data))
         self.stats.physical_writes += 1
+        if self.guard is not None:
+            self.guard.stamp(page_id, bytes(data))
+
+    def repair_write(self, page_id, data):
+        """Reinstall a repaired page image (guard traffic, not page I/O).
+
+        Used only by the guard's read-repair: the caller's logical read
+        is the one being served, so the corrective rewrite is accounted
+        in ``guard_repairs`` rather than ``physical_writes`` -- exactly
+        as recovery's replay writes are not query I/O.
+        """
+        self._check_range(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page payload must be exactly {self.page_size} bytes, "
+                f"got {len(data)}")
+        self._file.seek(page_id * self.page_size)
+        self._file.write(bytes(data))
 
     def sync(self):
         """Flush the underlying file to stable storage where supported."""
         fsync_file(self._file)
+        if self.guard is not None:
+            self.guard.sync()
 
     def close(self):
-        """Close the backing file."""
+        """Close the backing file (and the guard sidecar, if attached)."""
         self._file.close()
+        if self.guard is not None:
+            self.guard.close()
 
     def __enter__(self):
         return self

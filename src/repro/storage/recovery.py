@@ -89,13 +89,17 @@ def scan_committed(wal):
     return committed, result
 
 
-def recover(data_file, wal, page_size=None):
+def recover(data_file, wal, page_size=None, guard=None):
     """Replay the committed tail of ``wal`` into ``data_file``.
 
     ``data_file`` is a writable binary file object positioned anywhere;
     ``wal`` is an attached :class:`~repro.storage.wal.WriteAheadLog`.
-    ``page_size`` defaults to the log's.  Returns a
-    :class:`RecoveryResult`.
+    ``page_size`` defaults to the log's.  When the index carries a
+    checksum sidecar, pass its :class:`~repro.storage.guard.PageGuard`
+    as ``guard`` so every replayed image is restamped -- recovery writes
+    around the pager, and a stale stamp would condemn a perfectly
+    recovered page on its first read after the log is checkpointed away.
+    Returns a :class:`RecoveryResult`.
     """
     if page_size is None:
         page_size = wal.page_size
@@ -121,19 +125,23 @@ def recover(data_file, wal, page_size=None):
             num_pages = page_id + 1
         data_file.seek(page_id * page_size)
         data_file.write(image)
+        if guard is not None:
+            guard.stamp(page_id, image)
         result.pages_applied += 1
     if result.pages_applied or result.truncated_bytes:
         fsync_file(data_file)
     return result
 
 
-def recover_path(data_path, wal_path, page_size=None):
+def recover_path(data_path, wal_path, page_size=None, guard_path=None):
     """Path-based wrapper around :func:`recover` (the ``prix recover``
     entry point).
 
     Missing files are fine: no log means nothing to redo, and a missing
     data file is created empty so committed images can be replayed into
-    it.  Returns a :class:`RecoveryResult` (``clean`` when there was no
+    it.  When a checksum sidecar exists (``guard_path``, default
+    ``data_path + ".sum"``), replayed images are restamped into it.
+    Returns a :class:`RecoveryResult` (``clean`` when there was no
     log).
     """
     from repro.storage.wal import _HEADER, WriteAheadLog
@@ -157,5 +165,16 @@ def recover_path(data_path, wal_path, page_size=None):
                 # began, so there is nothing to redo.
                 return RecoveryResult()
             _, page_size = header
-        with WriteAheadLog.open(wal_path, page_size) as wal:
-            return recover(data_file, wal, page_size=page_size)
+        if guard_path is None:
+            guard_path = data_path + ".sum"
+        guard = None
+        try:
+            if os.path.exists(guard_path):
+                from repro.storage.guard import PageGuard
+                guard = PageGuard.open(guard_path, page_size)
+            with WriteAheadLog.open(wal_path, page_size) as wal:
+                return recover(data_file, wal, page_size=page_size,
+                               guard=guard)
+        finally:
+            if guard is not None:
+                guard.close()

@@ -19,6 +19,11 @@ class IOStats:
     touch ``physical_reads``/``physical_writes``, so the paper's
     "Disk IO (pages)" columns stay comparable whether or not an index
     runs with ``durable=True``.
+
+    The ``guard_*`` counters do the same for the checksum guard
+    (``docs/ROBUSTNESS.md``): verifications are CPU work over bytes a
+    counted read already fetched, and repairs/quarantines only happen on
+    actual corruption, so none of them perturb the paper's page columns.
     """
 
     physical_reads: int = 0
@@ -29,12 +34,17 @@ class IOStats:
     wal_appends: int = 0
     wal_fsyncs: int = 0
     wal_bytes: int = 0
+    guard_verifications: int = 0
+    guard_repairs: int = 0
+    guard_quarantines: int = 0
 
     def snapshot(self):
         """Return an independent copy of the current counters."""
         return IOStats(self.physical_reads, self.physical_writes,
                        self.logical_reads, self.evictions, self.allocations,
-                       self.wal_appends, self.wal_fsyncs, self.wal_bytes)
+                       self.wal_appends, self.wal_fsyncs, self.wal_bytes,
+                       self.guard_verifications, self.guard_repairs,
+                       self.guard_quarantines)
 
     def delta(self, earlier):
         """Return the counter increments since ``earlier``."""
@@ -47,6 +57,9 @@ class IOStats:
             self.wal_appends - earlier.wal_appends,
             self.wal_fsyncs - earlier.wal_fsyncs,
             self.wal_bytes - earlier.wal_bytes,
+            self.guard_verifications - earlier.guard_verifications,
+            self.guard_repairs - earlier.guard_repairs,
+            self.guard_quarantines - earlier.guard_quarantines,
         )
 
     def reset(self):
@@ -59,6 +72,9 @@ class IOStats:
         self.wal_appends = 0
         self.wal_fsyncs = 0
         self.wal_bytes = 0
+        self.guard_verifications = 0
+        self.guard_repairs = 0
+        self.guard_quarantines = 0
 
     @property
     def hit_ratio(self):

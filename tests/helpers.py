@@ -26,6 +26,47 @@ def make_random_document(seed, doc_id=1, **kwargs):
     return Document(make_random_tree(rng, **kwargs), doc_id=doc_id)
 
 
+#: Mutation operators for :func:`mutate_text`, chosen per seed.
+MUTATION_OPS = ("truncate", "delete", "duplicate", "insert_byte",
+                "insert_nul", "swap", "close_tag", "break_entity")
+
+
+def mutate_text(rng, text, mutations=1):
+    """Seeded structural damage to a text blob (fuzz-test input maker).
+
+    Applies ``mutations`` random operators: truncation, byte deletion /
+    duplication / insertion, NUL injection, adjacent swaps, a stray
+    close tag, or chopping the text mid-entity.  Deterministic for a
+    given ``rng`` state, so a failing seed is a reproduction recipe.
+    """
+    for _ in range(mutations):
+        if not text:
+            return "<"
+        op = rng.choice(MUTATION_OPS)
+        pos = rng.randrange(len(text))
+        if op == "truncate":
+            text = text[:max(1, pos)]
+        elif op == "delete":
+            text = text[:pos] + text[pos + 1:]
+        elif op == "duplicate":
+            text = text[:pos] + text[pos] + text[pos:]
+        elif op == "insert_byte":
+            text = text[:pos] + rng.choice("<>&/'\"=x ") + text[pos:]
+        elif op == "insert_nul":
+            text = text[:pos] + "\x00" + text[pos:]
+        elif op == "swap" and len(text) > pos + 1:
+            text = (text[:pos] + text[pos + 1] + text[pos]
+                    + text[pos + 2:])
+        elif op == "close_tag":
+            tag = rng.choice("abcd")
+            text = text[:pos] + f"</{tag}>" + text[pos:]
+        elif op == "break_entity":
+            amp = text.find("&")
+            cut = amp + 1 if amp >= 0 else pos
+            text = text[:cut]
+    return text
+
+
 def make_random_twig(rng, max_nodes=5, tags="abcd", star_p=0.15,
                      value_p=0.12, descendant_p=0.35, absolute_p=0.15,
                      values=("v1", "v2", "v3")):

@@ -196,3 +196,39 @@ class TestEnvActivation:
     def test_prix_sanitize_0_and_unset_stay_off(self):
         assert self._run("0") == "False"
         assert self._run(None) == "False"
+
+
+class TestGuardTrust:
+    def make_guarded_pool(self):
+        import io
+        from repro.storage.guard import PageGuard
+        guard = PageGuard(io.BytesIO(), 32)
+        pager = Pager.in_memory(page_size=32, guard=guard)
+        return BufferPool(pager, capacity=4), guard
+
+    def test_verified_image_passes(self, sanitized):
+        pool, guard = self.make_guarded_pool()
+        pid = pool._pager.allocate()
+        pool.put(pid, b"\x11" * 32)
+        pool.flush()
+        assert bytes(pool.get(pid)) == b"\x11" * 32
+        pool.close()
+
+    def test_untrusted_cached_image_trips(self, sanitized):
+        # A cache hit bypasses guard.admit(); if trust was revoked in
+        # the meantime (e.g. a quarantine through another handle), the
+        # sanitizer must refuse to hand the stale frame out.
+        pool, guard = self.make_guarded_pool()
+        pid = pool._pager.allocate()
+        pool.put(pid, b"\x11" * 32)
+        pool.flush()
+        pool.get(pid)
+        guard._trusted.discard(pid)
+        with pytest.raises(sanitizer.SanitizeError):
+            pool.get(pid)
+
+    def test_unguarded_pool_unaffected(self, sanitized):
+        pool = make_pool()
+        pid, frame = pool.new_page()
+        pool.get(pid)
+        pool.close()

@@ -80,7 +80,9 @@ class TestQuery:
         assert main(["query", built_index, "//a[["]) == 1
 
     def test_query_missing_index(self, tmp_path, capsys):
-        assert main(["query", str(tmp_path / "no.idx"), "//a/b"]) == 1
+        assert main(["query", str(tmp_path / "no.idx"), "//a/b"]) == 2
+        err = capsys.readouterr().err
+        assert "missing file" in err and "Traceback" not in err
 
 
 class TestStats:
@@ -149,3 +151,89 @@ class TestInsertDelete:
         out = capsys.readouterr().out
         assert "index now holds 1 documents" in out
         assert main(["delete", index_path, "99"]) == 1
+
+
+@pytest.fixture()
+def guarded_index(tmp_path, xml_files, capsys):
+    index_path = str(tmp_path / "guard.idx")
+    assert main(["build", index_path] + xml_files
+                + ["--durable", "--guard", "--page-size", "256"]) == 0
+    capsys.readouterr()
+    return index_path
+
+
+class TestGuardAndScrub:
+    def test_build_guard_writes_sidecar(self, tmp_path, xml_files,
+                                        capsys):
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", index_path] + xml_files
+                    + ["--guard"]) == 0
+        out = capsys.readouterr().out
+        assert f"checksum sidecar at {index_path}.sum" in out
+        import os
+        assert os.path.exists(index_path + ".sum")
+
+    def test_scrub_healthy_index(self, guarded_index, capsys):
+        assert main(["scrub", guarded_index]) == 0
+        out = capsys.readouterr().out
+        assert "health" in out and "OK" in out
+
+    def test_scrub_missing_index_is_usage_error(self, tmp_path, capsys):
+        assert main(["scrub", str(tmp_path / "no.idx")]) == 2
+
+    def test_corruption_exits_3_everywhere(self, guarded_index, capsys):
+        # Checkpoint first so the WAL cannot repair the damage.
+        assert main(["checkpoint", guarded_index]) == 0
+        with open(guarded_index, "r+b") as handle:
+            handle.seek(256 * 3)
+            handle.write(b"\x00" * 256)
+        capsys.readouterr()
+        assert main(["scrub", guarded_index]) == 3
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert main(["query", guarded_index, "//book/title"]) == 3
+        err = capsys.readouterr().err
+        assert "PageCorruptionError" in err and "Traceback" not in err
+
+    def test_scrub_repairs_from_wal(self, guarded_index, capsys):
+        with open(guarded_index, "r+b") as handle:
+            handle.seek(256 * 3 + 11)
+            byte = handle.read(1)
+            handle.seek(-1, 1)
+            handle.write(bytes([byte[0] ^ 0x20]))
+        assert main(["scrub", guarded_index]) == 0
+        out = capsys.readouterr().out
+        assert "repaired    : 1" in out
+        assert main(["query", guarded_index, "//book/title"]) == 0
+
+    def test_garbage_superblock_exits_3(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.idx"
+        bogus.write_bytes(b"not an index" * 100)
+        assert main(["query", str(bogus), "//a/b"]) == 3
+        err = capsys.readouterr().err
+        assert "error [" in err and "Traceback" not in err
+
+
+class TestQueryBudget:
+    def test_budget_candidates_degrades(self, built_index, capsys):
+        assert main(["query", built_index, "//book[./author]/title",
+                     "--budget-candidates", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "approximate result" in out
+        assert "superset" in out
+        assert "degraded: candidates budget exhausted" in out
+
+    def test_budget_filter_exhaustion_is_error(self, built_index,
+                                               capsys):
+        assert main(["query", built_index, "//book/title",
+                     "--budget-range-queries", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "error [budget]" in err and "Traceback" not in err
+
+    def test_generous_budget_matches_exact(self, built_index, capsys):
+        assert main(["query", built_index, "//book/title"]) == 0
+        exact = capsys.readouterr().out
+        assert main(["query", built_index, "//book/title",
+                     "--budget-candidates", "1000",
+                     "--budget-ms", "60000"]) == 0
+        assert capsys.readouterr().out == exact
