@@ -12,14 +12,22 @@ modules here add the path dimension:
   CFG,
 - :mod:`repro.analysis.flow.protocols` -- the resource-protocol model
   (what acquires, dirties, releases and reads),
-- :mod:`repro.analysis.flow.rules` -- the four shipped flow rules:
+- :mod:`repro.analysis.flow.rules` -- the resource-protocol flow rules:
   ``pin-unpin-balance``, ``dirty-page-escape``,
-  ``stats-read-before-flush`` and ``close-on-all-paths``.
+  ``stats-read-before-flush`` and ``close-on-all-paths``,
+- :mod:`repro.analysis.flow.locks` -- the ``prixrace`` lockset rules:
+  ``guarded-field-access``, ``lock-order``,
+  ``no-blocking-io-under-latch`` and ``release-on-all-paths``.
 """
 
 from repro.analysis.flow.cfg import CFG, CFGNode, build_cfg
 from repro.analysis.flow.callgraph import CallGraph
-from repro.analysis.flow.engine import FlowState, run_forward
+from repro.analysis.flow.engine import (FlowState, run_forward,
+                                        run_forward_must)
+from repro.analysis.flow.locks import (GuardedFieldAccessRule,
+                                       LockOrderRule,
+                                       NoBlockingIoUnderLatchRule,
+                                       ReleaseOnAllPathsRule)
 from repro.analysis.flow.rules import (CloseOnAllPathsRule,
                                        DirtyPageEscapeRule,
                                        PinUnpinBalanceRule,
@@ -30,6 +38,18 @@ FLOW_RULES = (
     DirtyPageEscapeRule,
     StatsReadBeforeFlushRule,
     CloseOnAllPathsRule,
+    GuardedFieldAccessRule,
+    LockOrderRule,
+    NoBlockingIoUnderLatchRule,
+    ReleaseOnAllPathsRule,
+)
+
+#: The prixrace rule names, in reporting order (used by the JSON report).
+PRIXRACE_RULES = (
+    "guarded-field-access",
+    "lock-order",
+    "no-blocking-io-under-latch",
+    "release-on-all-paths",
 )
 
 __all__ = [
@@ -40,8 +60,14 @@ __all__ = [
     "DirtyPageEscapeRule",
     "FLOW_RULES",
     "FlowState",
+    "GuardedFieldAccessRule",
+    "LockOrderRule",
+    "NoBlockingIoUnderLatchRule",
+    "PRIXRACE_RULES",
     "PinUnpinBalanceRule",
+    "ReleaseOnAllPathsRule",
     "StatsReadBeforeFlushRule",
     "build_cfg",
     "run_forward",
+    "run_forward_must",
 ]

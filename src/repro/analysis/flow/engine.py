@@ -1,8 +1,12 @@
-"""Forward worklist fixpoint engine over a :class:`~.cfg.CFG`.
+"""Forward worklist fixpoint engines over a :class:`~.cfg.CFG`.
 
-The engine runs a *may* analysis: the abstract state is a frozenset of
-rule-defined tokens, states merge by union, and a rule's transfer
-function must be monotone (gen/kill sets per node).  Exception edges
+:func:`run_forward` runs a *may* analysis: the abstract state is a
+frozenset of rule-defined tokens, states merge by union, and a rule's
+transfer function must be monotone (gen/kill sets per node).
+:func:`run_forward_must` is its dual -- states merge by intersection, so
+a token survives a join only when it holds on **every** incoming path;
+the lockset rules use it because "the latch is held here" is only true
+if no path reaches the statement latch-free.  In both, exception edges
 propagate the node's **pre**-state -- when a statement raises, its own
 effects may not have happened -- while normal edges carry the
 post-state.  Which exception edges are followed is the rule's choice via
@@ -59,6 +63,48 @@ def run_forward(cfg, transfer, live_reasons, initial=frozenset(),
             return
         else:
             in_states[target] = known | tokens
+        if target not in queued:
+            queued.add(target)
+            worklist.append(target)
+
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        state = in_states[node]
+        out = transfer(node, state)
+        for succ in node.succ:
+            propagate(succ, out)
+        if node.exc is not None and node.exc[1] in live_reasons:
+            flowing = (state if transfer_exc is None
+                       else transfer_exc(node, state))
+            propagate(node.exc[0], flowing)
+
+    return FlowState(in_states)
+
+
+def run_forward_must(cfg, transfer, live_reasons, initial=frozenset(),
+                     transfer_exc=None):
+    """Intersection-merge dual of :func:`run_forward`.
+
+    A token is in :meth:`FlowState.before` for a node only when every
+    path reaching the node carries it.  The first edge into a node seeds
+    its state; later edges intersect, and the node is requeued whenever
+    the set shrinks.  Terminates because states only shrink and the
+    token universe per function is finite.
+    """
+    in_states = {cfg.entry: frozenset(initial)}
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+
+    def propagate(target, tokens):
+        known = in_states.get(target)
+        if known is None:
+            in_states[target] = frozenset(tokens)
+        else:
+            merged = known & tokens
+            if merged == known:
+                return
+            in_states[target] = merged
         if target not in queued:
             queued.add(target)
             worklist.append(target)

@@ -1,0 +1,560 @@
+"""Eraser-style lockset analysis and the four ``prixrace`` rules.
+
+The storage layer declares its latch discipline in source annotations::
+
+    self._frames = OrderedDict()        # prixrace: guarded-by=_latch
+    self._latch = Latch("buffer-pool")  # prixrace: no-blocking-io
+
+    def _note_dirty(self, page_id):     # prixrace: requires=_latch
+        ...
+
+and this module proves it.  A **must** dataflow analysis
+(:func:`~.engine.run_forward_must`) tracks the set of latches held at
+every statement -- through ``with lock:`` blocks (the CFG's cleanup
+inlining already routes every exit, exceptional included, through the
+``with``-exit), bare ``acquire()``/``release()`` pairs, try/finally
+shapes and re-entrant re-acquisition (tokens carry a nesting level) --
+and four rules consume the fixpoint:
+
+- ``guarded-field-access``: inside the declaring class, every read or
+  write of a ``guarded-by`` field must hold the named latch on **every**
+  path into the statement.  ``__init__`` is exempt (the object is not
+  shared yet); helpers annotated ``requires=<latch>`` are analysed with
+  the latch pre-held, and their call sites must hold it.
+- ``lock-order``: all acquisition orders in a module form one directed
+  graph (acquiring ``b`` while holding ``a`` adds ``a -> b``); a cycle
+  is a deadlock waiting for the right interleaving.  Re-entrant
+  self-edges are skipped -- the latches are RLocks.
+- ``no-blocking-io-under-latch``: while a latch marked
+  ``no-blocking-io`` is held, no pager/WAL/file I/O call may run; one
+  thread's disk wait must never serialize everyone else's cache hits.
+- ``release-on-all-paths``: a bare ``acquire()`` must reach a
+  ``release()`` on every path out of the function, exception paths
+  included (``with`` is immune by construction and is the fix the
+  message suggests).
+
+Lock expressions are recognised by their terminal identifier
+(``lock``/``latch``/``mutex``, optionally prefixed, e.g.
+``self._io_latch``); names are compared by normalized source text, so
+``self._latch`` in two methods of one class is one lock role.  The
+analysis is intraprocedural plus annotations -- what escapes it (a latch
+handed to another object, cross-module acquisition orders) is the
+runtime sanitizer's half of the contract (``docs/CONCURRENCY.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.flow.engine import run_forward, run_forward_must
+from repro.analysis.flow.rules import (STRICT_REASONS, FlowRule,
+                                       _module_model)
+
+#: Terminal identifiers that denote a mutual-exclusion object.
+_LOCK_NAME = re.compile(r"(?:^|_)(?:r?lock|latch|mutex)\d*$", re.IGNORECASE)
+
+#: ``# prixrace: guarded-by=<latch>`` on a field-defining line.
+_GUARDED_BY = re.compile(r"#\s*prixrace:\s*guarded-by=([A-Za-z_]\w*)")
+#: ``# prixrace: requires=<latch>`` on a ``def`` line.
+_REQUIRES = re.compile(r"#\s*prixrace:\s*requires=([A-Za-z_]\w*)")
+#: ``# prixrace: no-blocking-io`` on a latch-defining line.
+_NO_BLOCKING = re.compile(r"#\s*prixrace:\s*no-blocking-io\b")
+
+#: Methods that reach the platter when called on an I/O object.
+_BLOCKING_ATTRS = frozenset({
+    "read", "read_raw", "write", "repair_write", "allocate", "sync",
+    "fsync", "log_page", "append", "commit", "checkpoint",
+    "require_durable", "flush",
+})
+#: Receiver terminal names that denote an I/O object.
+_IO_RECEIVER = re.compile(r"^(?:pager|wal|file|fileobj|log|disk)\w*$",
+                          re.IGNORECASE)
+#: ``self.<method>()`` calls that (transitively) block on disk I/O.
+_SELF_BLOCKING = frozenset({"commit", "flush", "checkpoint", "_write_back",
+                            "_load"})
+
+#: Functions exempt from ``release-on-all-paths``: lock-wrapper methods
+#: whose whole point is a dangling acquire or release (``Latch.acquire``
+#: holds by design; ``__exit__`` releases what ``__enter__`` took).
+_WRAPPER_NAMES = frozenset({"acquire", "release", "__enter__", "__exit__",
+                            "locked", "owned"})
+
+_SCOPE_STMTS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _src(expr):
+    try:
+        return ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse covers all exprs
+        return repr(expr)
+
+
+def _lock_name(expr):
+    """Normalized lock name for an expression, or None if not a lock."""
+    if isinstance(expr, ast.Attribute):
+        terminal = expr.attr
+    elif isinstance(expr, ast.Name):
+        terminal = expr.id
+    else:
+        return None
+    if _LOCK_NAME.search(terminal):
+        return _src(expr)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-node lock events
+# ----------------------------------------------------------------------
+
+def _expr_lock_calls(expr, events):
+    """Collect ``L.acquire()`` / ``L.release()`` calls inside ``expr``."""
+    if expr is None:
+        return
+    for sub in ast.walk(expr):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in ("acquire", "release"):
+            continue
+        name = _lock_name(func.value)
+        if name is not None:
+            events.append((func.attr, name, sub.lineno, sub.col_offset))
+
+
+def _node_lock_events(node):
+    """Lock events performed by one CFG node, in program order.
+
+    Mirrors the header-only discipline of the protocol extractor: a
+    compound statement's node carries only its header expression, so
+    body statements (their own nodes) are not double-counted.
+    """
+    kind, stmt = node.kind, node.stmt
+    events = []
+    if kind == "with-enter":
+        name = _lock_name(node.item.context_expr)
+        if name is not None:
+            events.append(("acquire", name, stmt.lineno, stmt.col_offset))
+        return events
+    if kind == "with-exit":
+        name = _lock_name(node.item.context_expr)
+        if name is not None:
+            events.append(("release", name, stmt.lineno, stmt.col_offset))
+        return events
+    if kind == "stmt":
+        if not isinstance(stmt, _SCOPE_STMTS):
+            _expr_lock_calls(stmt, events)
+        return events
+    if kind == "branch":
+        header = (stmt.subject if hasattr(ast, "Match")
+                  and isinstance(stmt, ast.Match) else stmt.test)
+        _expr_lock_calls(header, events)
+        return events
+    if kind == "loop-head":
+        _expr_lock_calls(stmt.test if isinstance(stmt, ast.While)
+                         else stmt.iter, events)
+        return events
+    if kind in ("return", "raise"):
+        _expr_lock_calls(getattr(stmt, "value", None)
+                         or getattr(stmt, "exc", None), events)
+        return events
+    return events
+
+
+def _node_own_exprs(node):
+    """The expressions one CFG node is responsible for (header-only)."""
+    kind, stmt = node.kind, node.stmt
+    if kind == "stmt":
+        if stmt is None or isinstance(stmt, _SCOPE_STMTS):
+            return []
+        return [stmt]
+    if kind == "branch":
+        return [stmt.subject if hasattr(ast, "Match")
+                and isinstance(stmt, ast.Match) else stmt.test]
+    if kind == "loop-head":
+        return [stmt.test if isinstance(stmt, ast.While) else stmt.iter]
+    if kind == "return":
+        return [stmt.value] if stmt.value is not None else []
+    if kind == "raise":
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if kind == "with-enter":
+        return [node.item.context_expr]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Annotation harvesting and the cached per-file lock model
+# ----------------------------------------------------------------------
+
+class _ClassSpec:
+    """One class's prixrace declarations."""
+
+    __slots__ = ("node", "guarded", "requires", "no_blocking")
+
+    def __init__(self, node):
+        self.node = node
+        self.guarded = {}      # field -> latch attribute name
+        self.requires = {}     # method name -> latch attribute name
+        self.no_blocking = set()  # normalized lock names ("self._latch")
+
+
+def _harvest(source):
+    """Parse prixrace annotations; returns ``{class name: _ClassSpec}``."""
+    lines = source.lines
+    specs = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        spec = _ClassSpec(node)
+        for stmt in node.body:
+            # Class-level counter declarations (dataclass style).
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target,
+                                                              ast.Name):
+                match = _GUARDED_BY.search(lines[stmt.lineno - 1])
+                if match:
+                    spec.guarded[stmt.target.id] = match.group(1)
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            match = _REQUIRES.search(lines[stmt.lineno - 1])
+            if match:
+                spec.requires[stmt.name] = match.group(1)
+            if stmt.name != "__init__":
+                continue
+            for sub in ast.walk(stmt):
+                if not (isinstance(sub, ast.Assign) and len(sub.targets) == 1):
+                    continue
+                target = sub.targets[0]
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                line = lines[sub.lineno - 1]
+                match = _GUARDED_BY.search(line)
+                if match:
+                    spec.guarded[target.attr] = match.group(1)
+                if _NO_BLOCKING.search(line):
+                    spec.no_blocking.add(f"self.{target.attr}")
+        if spec.guarded or spec.requires or spec.no_blocking:
+            specs[node.name] = spec
+    return specs
+
+
+class _LockModel:
+    """Per-file lockset fixpoints plus the annotation specs."""
+
+    def __init__(self, source):
+        self.specs = _harvest(source)
+        flow_model = _module_model(source)
+        self.functions = flow_model.functions
+        self._solved = {}
+        self._requires_of = {}
+        for spec in self.specs.values():
+            for stmt in spec.node.body:
+                if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt.name in spec.requires):
+                    latch = spec.requires[stmt.name]
+                    self._requires_of[id(stmt)] = f"self.{latch}"
+
+    def initial_locks(self, func):
+        """The entry lockset annotations grant this function."""
+        latch = self._requires_of.get(id(func))
+        if latch is None:
+            return frozenset()
+        return frozenset({(latch, 1)})
+
+    def solve(self, model):
+        """Must-lockset fixpoint for one function (cached)."""
+        key = id(model.func)
+        if key not in self._solved:
+            events = {node: _node_lock_events(node)
+                      for node in model.cfg.nodes}
+
+            def apply(node_events, state, gen):
+                for kind, name, _line, _col in node_events:
+                    if kind == "acquire":
+                        if gen:
+                            level = max((lvl for n, lvl in state
+                                         if n == name), default=0)
+                            state = state | {(name, level + 1)}
+                    else:
+                        levels = [lvl for n, lvl in state if n == name]
+                        if levels:
+                            state = state - {(name, max(levels))}
+                return state
+
+            flow = run_forward_must(
+                model.cfg,
+                lambda node, state: apply(events[node], state, True),
+                STRICT_REASONS,
+                initial=self.initial_locks(model.func),
+                transfer_exc=lambda node, state: apply(events[node], state,
+                                                       False))
+            self._solved[key] = (flow, events)
+        return self._solved[key]
+
+    @staticmethod
+    def held_names(state):
+        return {name for name, _level in state}
+
+
+def _lock_model(source):
+    """Build (once per file) the lock model shared by the four rules."""
+    cached = getattr(source, "_prixrace_model", None)
+    if cached is None:
+        cached = _LockModel(source)
+        source._prixrace_model = cached
+    return cached
+
+
+class LockRule(FlowRule):
+    """Base for the prixrace rules: per-class iteration helpers."""
+
+    def run(self, source):
+        self.source = source
+        self.findings = []
+        self._reported = set()
+        model = _lock_model(source)
+        by_func = {id(fm.func): fm for fm in model.functions}
+        self._check_module(model, by_func)
+        return self.findings
+
+    def _methods_of(self, spec, by_func):
+        """(method AST, function model) pairs for one class's methods."""
+        for stmt in spec.node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            fm = by_func.get(id(stmt))
+            if fm is not None:
+                yield stmt, fm
+
+    def _check_module(self, model, by_func):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class GuardedFieldAccessRule(LockRule):
+    """Annotated fields may only be touched with their latch held."""
+
+    name = "guarded-field-access"
+    description = ("read/write of a '# prixrace: guarded-by=<latch>' "
+                   "field without that latch held on every path")
+
+    def _check_module(self, model, by_func):
+        for spec in model.specs.values():
+            if not spec.guarded:
+                continue
+            for method, fm in self._methods_of(spec, by_func):
+                if method.name == "__init__":
+                    continue
+                self._check_method(model, spec, fm)
+
+    def _check_method(self, model, spec, fm):
+        flow, events = model.solve(fm)
+        for node in fm.cfg.nodes:
+            if not flow.reached(node):
+                continue
+            held = model.held_names(flow.before(node))
+            for expr in _node_own_exprs(node):
+                self._check_accesses(spec, expr, held)
+                self._check_helper_calls(spec, expr, held)
+
+    def _check_accesses(self, spec, expr, held):
+        for sub in ast.walk(expr):
+            if not (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"):
+                continue
+            latch = spec.guarded.get(sub.attr)
+            if latch is None or f"self.{latch}" in held:
+                continue
+            self.report_at(sub.lineno, sub.col_offset, (
+                f"access to {spec.node.name}.{sub.attr} without holding "
+                f"self.{latch} on every path (declared '# prixrace: "
+                f"guarded-by={latch}'); wrap the access in "
+                f"'with self.{latch}:'"))
+
+    def _check_helper_calls(self, spec, expr, held):
+        for sub in ast.walk(expr):
+            if not (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == "self"):
+                continue
+            latch = spec.requires.get(sub.func.attr)
+            if latch is None or f"self.{latch}" in held:
+                continue
+            self.report_at(sub.lineno, sub.col_offset, (
+                f"call to self.{sub.func.attr}() without holding "
+                f"self.{latch} (declared '# prixrace: requires={latch}' "
+                "on its def line)"))
+
+
+class LockOrderRule(LockRule):
+    """The module's latch acquisition orders must form a DAG."""
+
+    name = "lock-order"
+    description = ("cyclic latch acquisition order across the module "
+                   "(deadlock waiting for the right interleaving)")
+
+    def _check_module(self, model, by_func):
+        edges = {}   # (held, acquired) -> (line, col)
+        for fm in model.functions:
+            flow, events = model.solve(fm)
+            for node in fm.cfg.nodes:
+                if not flow.reached(node) or not events[node]:
+                    continue
+                state = flow.before(node)
+                for kind, name, line, col in events[node]:
+                    if kind == "acquire":
+                        for held in model.held_names(state):
+                            if held != name:
+                                edges.setdefault((held, name), (line, col))
+                    # Track within-node sequences too (with a, b: makes
+                    # separate nodes, but a.acquire(); b.acquire() in one
+                    # statement would not).
+                    level = max((lvl for n, lvl in state if n == name),
+                                default=0)
+                    if kind == "acquire":
+                        state = state | {(name, level + 1)}
+                    elif level:
+                        state = state - {(name, level)}
+        self._report_cycles(edges)
+
+    def _report_cycles(self, edges):
+        graph = {}
+        for held, acquired in edges:
+            graph.setdefault(held, set()).add(acquired)
+        seen_cycles = set()
+        for start in sorted(graph):
+            cycle = self._find_cycle(graph, start)
+            if cycle is None or frozenset(cycle) in seen_cycles:
+                continue
+            seen_cycles.add(frozenset(cycle))
+            witness = min(
+                edges[(cycle[i], cycle[i + 1])]
+                for i in range(len(cycle) - 1))
+            path = " -> ".join(cycle)
+            self.report_at(witness[0], witness[1], (
+                f"latch acquisition order cycle {path}: two threads "
+                "taking these latches in opposite orders deadlock; pick "
+                "one global order (docs/CONCURRENCY.md) and stick to it"))
+
+    @staticmethod
+    def _find_cycle(graph, start):
+        """A path start -> ... -> start, or None."""
+        stack = [(start, [start])]
+        visited = set()
+        while stack:
+            node, path = stack.pop()
+            for succ in sorted(graph.get(node, ())):
+                if succ == start:
+                    return path + [start]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+
+class NoBlockingIoUnderLatchRule(LockRule):
+    """No disk I/O while holding a latch marked ``no-blocking-io``."""
+
+    name = "no-blocking-io-under-latch"
+    description = ("pager/WAL/file I/O call while holding a latch "
+                   "marked '# prixrace: no-blocking-io'")
+
+    def _check_module(self, model, by_func):
+        for spec in model.specs.values():
+            if not spec.no_blocking:
+                continue
+            for method, fm in self._methods_of(spec, by_func):
+                self._check_method(model, spec, fm)
+
+    def _check_method(self, model, spec, fm):
+        flow, _events = model.solve(fm)
+        for node in fm.cfg.nodes:
+            if node.kind in ("with-enter", "with-exit"):
+                continue
+            if not flow.reached(node):
+                continue
+            held = model.held_names(flow.before(node)) & spec.no_blocking
+            if not held:
+                continue
+            for expr in _node_own_exprs(node):
+                for sub in ast.walk(expr):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    what = self._blocking_call(sub)
+                    if what is None:
+                        continue
+                    latch = sorted(held)[0]
+                    self.report_at(sub.lineno, sub.col_offset, (
+                        f"{what} while holding {latch} (marked "
+                        "'# prixrace: no-blocking-io'): a disk wait "
+                        "under the frame-map latch serializes every "
+                        "other thread's cache hits; stage the I/O "
+                        "outside the latched section"))
+
+    @staticmethod
+    def _blocking_call(call):
+        func = call.func
+        if isinstance(func, ast.Name):
+            return f"{func.id}()" if func.id == "fsync_file" else None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = _src(func.value)
+        if receiver == "self":
+            if func.attr in _SELF_BLOCKING:
+                return f"self.{func.attr}()"
+            return None
+        terminal = receiver.rsplit(".", 1)[-1].lstrip("_")
+        if func.attr in _BLOCKING_ATTRS and _IO_RECEIVER.match(terminal):
+            return f"{receiver}.{func.attr}()"
+        return None
+
+
+class ReleaseOnAllPathsRule(LockRule):
+    """A bare ``acquire()`` must reach ``release()`` on every path."""
+
+    name = "release-on-all-paths"
+    description = ("lock.acquire() not matched by release() on every "
+                   "path out of the function (exception paths count); "
+                   "prefer 'with lock:'")
+    live_reasons = STRICT_REASONS
+
+    def _check_module(self, model, by_func):
+        for fm in model.functions:
+            if fm.func.name in _WRAPPER_NAMES:
+                continue
+            self._check_function_locks(model, fm)
+
+    def _check_function_locks(self, model, fm):
+        events = {node: [event for event in _node_lock_events(node)
+                         if node.kind not in ("with-enter", "with-exit")]
+                  for node in fm.cfg.nodes}
+        if not any(kind == "acquire"
+                   for node_events in events.values()
+                   for kind, *_rest in node_events):
+            return
+
+        def apply(node_events, state, gen):
+            for kind, name, line, col in node_events:
+                if kind == "acquire" and gen:
+                    state = state | {(name, line, col)}
+                elif kind == "release":
+                    state = frozenset(t for t in state if t[0] != name)
+            return state
+
+        flow = run_forward(
+            fm.cfg,
+            lambda node, state: apply(events[node], state, True),
+            self.live_reasons,
+            transfer_exc=lambda node, state: apply(events[node], state,
+                                                   False))
+        normal_exit, raise_exit = fm.cfg.exit_nodes
+        leaks = flow.before(normal_exit) | flow.before(raise_exit)
+        for name, line, col in sorted(leaks, key=lambda t: (t[1], t[2])):
+            self.report_at(line, col, (
+                f"{name}.acquire() here is not released on every path "
+                "out of the function (exception paths count); use "
+                f"'with {name}:' so the release is structural"))

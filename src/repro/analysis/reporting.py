@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import json
+from collections import Counter
+
+from repro.analysis.flow import PRIXRACE_RULES
 
 
 def render_text(result, show_grandfathered=False):
@@ -30,7 +33,18 @@ def render_text(result, show_grandfathered=False):
 
 
 def render_json(result):
-    """Machine-readable report mirroring the text reporter's content."""
+    """Machine-readable report mirroring the text reporter's content.
+
+    ``rule_counts`` tallies every rule that fired (new and
+    grandfathered findings both count -- the number answers "how much
+    of this pattern exists", not "how much is new").  The prixrace
+    rules are always present, zero included, so the CI lint artifact
+    shows the concurrency checks ran even on a clean tree.
+    """
+    counts = Counter(f.rule for f in result.findings)
+    counts.update(f.rule for f in result.grandfathered)
+    for rule in PRIXRACE_RULES:
+        counts.setdefault(rule, 0)
     document = {
         "files_checked": result.files_checked,
         "findings": [finding.as_dict() for finding in result.findings],
@@ -38,5 +52,6 @@ def render_json(result):
                           for finding in result.grandfathered],
         "errors": [{"path": path, "message": message}
                    for path, message in result.errors],
+        "rule_counts": dict(counts),
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -43,7 +43,16 @@ class StatsIntDisciplineRule(Rule):
             if isinstance(node.op, ast.Div):
                 self.report(node, self._message(node.target.attr,
                                                 "true division (/=)"))
-            self._check_value(node.target, node.value)
+            self._check_value(node.target.attr, node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        # The sanctioned mutation path, ``stats.add(physical_reads=1)``,
+        # must obey the same discipline as a direct ``+=``.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "add":
+            for keyword in node.keywords:
+                if keyword.arg in COUNTER_ATTRS:
+                    self._check_value(keyword.arg, keyword.value)
         self.generic_visit(node)
 
     @staticmethod
@@ -62,14 +71,14 @@ class StatsIntDisciplineRule(Rule):
             for element in target.elts:
                 self._check_target(element, value)
         elif self._is_counter(target):
-            self._check_value(target, value)
+            self._check_value(target.attr, value)
 
-    def _check_value(self, target, value):
+    def _check_value(self, attr, value):
         for sub in ast.walk(value):
             if isinstance(sub, ast.Constant) and isinstance(sub.value,
                                                             float):
-                self.report(sub, self._message(target.attr,
+                self.report(sub, self._message(attr,
                                                f"float literal {sub.value}"))
             elif isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
-                self.report(sub, self._message(target.attr,
+                self.report(sub, self._message(attr,
                                                "true division (/)"))

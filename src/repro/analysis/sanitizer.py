@@ -1,8 +1,9 @@
-"""Runtime sanitizer: dynamic twin of the prixflow static rules.
+"""Runtime sanitizer: dynamic twin of the prixflow/prixrace static rules.
 
-The static rules in :mod:`repro.analysis.flow` prove pin/flush
+The static rules in :mod:`repro.analysis.flow` prove pin/flush and latch
 discipline per function but stop at escapes (a handle stored on ``self``
-or passed to a helper leaves their scope).  The sanitizer covers that
+or passed to a helper leaves their scope) and at interleavings (a data
+race needs two threads the CFG cannot see).  The sanitizer covers that
 remainder at runtime: with it enabled, the storage layer itself asserts
 the protocol at the moments the static rules cannot see.
 
@@ -29,9 +30,30 @@ Checks added while enabled:
   ``BufferPool.get()`` asserts the image it hands out is *trusted* --
   stamped, checksum-verified, or WAL-repaired by the
   :class:`~repro.storage.guard.PageGuard` (see ``docs/ROBUSTNESS.md``).
-  An untrusted image reaching the matcher means some path smuggled
-  bytes around the verification gateway, which would let silent
-  corruption into query answers.
+- **guarded-field accesses** (dynamic twin of ``guarded-field-access``):
+  every field declared ``# prixrace: guarded-by=<latch>`` (the
+  machine-readable ``_GUARDED`` maps on BufferPool, Pager and IOStats)
+  is shadowed by a data descriptor.  Once an object has been touched by
+  two or more distinct threads -- the Eraser refinement, so
+  thread-confined use stays silent -- any read or write without the
+  declared latch held raises :class:`SanitizeError` at the racy access
+  itself, not at the eventual corrupted result.
+- **latch acquisition order** (dynamic twin of ``lock-order``): hooks
+  installed via :func:`repro.storage.latch.install_hooks` maintain a
+  per-thread held-latch stack and a process-wide order graph over latch
+  *role names*.  An acquire that would close a cycle in that graph
+  raises **before** blocking on the lock, turning a
+  some-interleavings-deadlock into a deterministic error with the cycle
+  in the message.
+
+State lives in one :class:`_State` object: per-thread data (the
+held-latch stacks) in a ``threading.local``, the process-wide aggregates
+(live pools, the order graph, the per-object accessor sets) under a
+single meta-lock -- a plain ``threading.Lock``, deliberately not a
+:class:`~repro.storage.latch.Latch`, so the sanitizer's own bookkeeping
+never re-enters its own hooks.  The sanitizer reads the fields it
+inspects via :func:`_peek` (straight from ``obj.__dict__``) so its own
+checks never trip the guarded-field descriptors.
 
 Enable programmatically::
 
@@ -48,14 +70,17 @@ or for a block::
 or for a whole process: set ``PRIX_SANITIZE=1`` in the environment
 before importing :mod:`repro` (the package auto-enables on import; see
 ``repro/__init__.py``).  The intended use is a CI pytest shard running
-the whole suite with the sanitizer on.
+the whole suite with the sanitizer on, plus the threaded stress job
+(``tests/test_threaded_stress.py``).
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from contextlib import contextmanager
 
+from repro.storage import latch as latch_module
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.errors import PinProtocolError
 from repro.storage.pager import Pager
@@ -71,11 +96,52 @@ class SanitizeError(AssertionError):
     """
 
 
-#: Live pools, so a stats object can find the pools it serves.
-_pools = weakref.WeakSet()
+#: Classes whose ``_GUARDED`` maps get descriptor enforcement.
+_GUARDED_CLASSES = (BufferPool, Pager, IOStats)
 
 #: Original (unwrapped) methods; non-empty exactly while enabled.
 _saved = {}
+
+#: Original class attributes displaced by guarded-field descriptors,
+#: keyed ``(cls, field)``; the sentinel marks "no class attribute".
+_MISSING = object()
+_saved_attrs = {}
+
+
+class _ThreadLocal(threading.local):
+    """Per-thread sanitizer state (fresh per thread, on first use)."""
+
+    def __init__(self):
+        self.held = []  # latch role names, in acquisition order
+
+
+class _State:
+    """Process-wide sanitizer state, rebuilt on every :func:`enable`."""
+
+    def __init__(self):
+        #: Guards every aggregate below.  A plain lock, not a Latch:
+        #: the sanitizer must never re-enter its own latch hooks.
+        self.meta = threading.Lock()
+        #: Live pools, so a stats object can find the pools it serves.
+        self.pools = weakref.WeakSet()
+        #: Latch-order edges over role names: name -> set of names
+        #: acquired while holding it.
+        self.order = {}
+        #: id(obj) -> set of (thread name, thread ident) that touched a
+        #: guarded field of obj.  id-keyed because IOStats (a dataclass
+        #: with eq=True) is unhashable; a weakref.finalize per object
+        #: retires the entry when the object is collected.
+        self.accessors = {}
+        self.tls = _ThreadLocal()
+
+
+#: The live state while enabled, else None.
+_state = None
+
+
+def _peek(obj, field):
+    """Read an instance attribute without waking its descriptor."""
+    return obj.__dict__.get(field)
 
 
 def active():
@@ -83,10 +149,156 @@ def active():
     return bool(_saved)
 
 
+# ----------------------------------------------------------------------
+# Guarded-field descriptors (dynamic guarded-field-access)
+# ----------------------------------------------------------------------
+
+def _note_access(state, obj):
+    """Record that the current thread touched ``obj``; return the set
+    of distinct threads that ever did."""
+    key = id(obj)
+    me = (threading.current_thread().name, threading.get_ident())
+    with state.meta:
+        entry = state.accessors.get(key)
+        if entry is None:
+            entry = set()
+            state.accessors[key] = entry
+            weakref.finalize(obj, state.accessors.pop, key, None)
+        entry.add(me)
+        return len(entry)
+
+
+class _GuardedField:
+    """Data descriptor asserting the declared latch on shared objects.
+
+    Values still live in ``obj.__dict__`` (``__set__`` writes there,
+    ``__get__`` reads there); as a *data* descriptor this class wins the
+    attribute lookup anyway, so every access funnels through the check.
+    """
+
+    __slots__ = ("owner", "name", "latch_attr", "original")
+
+    def __init__(self, owner, name, latch_attr, original):
+        self.owner = owner
+        self.name = name
+        self.latch_attr = latch_attr
+        self.original = original
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self if self.original is _MISSING else self.original
+        try:
+            value = obj.__dict__[self.name]
+        except KeyError:
+            raise AttributeError(self.name) from None
+        self._check(obj, "read")
+        return value
+
+    def __set__(self, obj, value):
+        self._check(obj, "write")
+        obj.__dict__[self.name] = value
+
+    def _check(self, obj, what):
+        state = _state
+        if state is None:
+            return
+        latch = _peek(obj, self.latch_attr)
+        if latch is None:  # mid-__init__: not shared yet
+            return
+        if _note_access(state, obj) < 2:
+            return  # Eraser refinement: thread-confined so far
+        if latch.owned():
+            return
+        raise SanitizeError(
+            f"sanitizer: {what} of {self.owner}.{self.name} by thread "
+            f"{threading.current_thread().name!r} without holding "
+            f"{latch!r} (declared guarded-by={self.latch_attr}) on an "
+            "object already shared between threads; this is a data "
+            "race -- take the latch")
+
+
+def _install_descriptors():
+    for cls in _GUARDED_CLASSES:
+        for field, latch_attr in cls._GUARDED.items():
+            original = cls.__dict__.get(field, _MISSING)
+            _saved_attrs[(cls, field)] = original
+            setattr(cls, field,
+                    _GuardedField(cls.__name__, field, latch_attr,
+                                  original))
+
+
+def _remove_descriptors():
+    for (cls, field), original in _saved_attrs.items():
+        if original is _MISSING:
+            delattr(cls, field)
+        else:
+            setattr(cls, field, original)
+    _saved_attrs.clear()
+
+
+# ----------------------------------------------------------------------
+# Latch hooks (dynamic lock-order)
+# ----------------------------------------------------------------------
+
+def _order_path(graph, start, target):
+    """A path ``start -> ... -> target`` in the order graph, or None."""
+    stack = [(start, [start])]
+    visited = {start}
+    while stack:
+        node, path = stack.pop()
+        for succ in sorted(graph.get(node, ())):
+            if succ == target:
+                return path + [target]
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, path + [succ]))
+    return None
+
+
+def _on_acquire(latch):
+    state = _state
+    if state is None:
+        return
+    held = state.tls.held
+    name = latch.name
+    if name not in held:  # re-entrant re-acquire adds no ordering fact
+        for prior in dict.fromkeys(held):  # distinct, in order
+            with state.meta:
+                state.order.setdefault(prior, set()).add(name)
+                back = _order_path(state.order, name, prior)
+            if back is not None:
+                cycle = " -> ".join([prior] + back)
+                raise SanitizeError(
+                    "sanitizer: latch acquisition order cycle "
+                    f"{cycle}: thread {threading.current_thread().name!r} "
+                    f"is taking {name!r} while holding {prior!r}, but "
+                    "the opposite order has also been observed; two "
+                    "such threads deadlock -- follow the global order "
+                    "in docs/CONCURRENCY.md")
+    held.append(name)
+
+
+def _on_release(latch):
+    state = _state
+    if state is None:
+        return
+    held = state.tls.held
+    for index in range(len(held) - 1, -1, -1):
+        if held[index] == latch.name:
+            del held[index]
+            return
+
+
+# ----------------------------------------------------------------------
+# Enable / disable
+# ----------------------------------------------------------------------
+
 def enable():
     """Install the runtime checks (idempotent)."""
+    global _state
     if _saved:
         return
+    _state = _State()
     _saved["pool_init"] = BufferPool.__init__
     _saved["pool_close"] = BufferPool.close
     _saved["pool_get"] = BufferPool.get
@@ -98,17 +310,20 @@ def enable():
     original_get = _saved["pool_get"]
     original_snapshot = _saved["stats_snapshot"]
     original_write = _saved["pager_write"]
+    state = _state
 
     def init(self, *args, **kwargs):
         original_init(self, *args, **kwargs)
-        _pools.add(self)
+        with state.meta:
+            state.pools.add(self)
 
     def close(self):
-        if self._pins:
+        if _peek(self, "_pins"):
+            pins = sorted(_peek(self, "_pins"))
             raise PinProtocolError(
                 "sanitizer: BufferPool.close() with outstanding pins on "
-                f"pages {sorted(self._pins)}; every pin() needs a "
-                "matching unpin() before the pool goes away")
+                f"pages {pins}; every pin() needs a matching unpin() "
+                "before the pool goes away")
         original_close(self)
 
     def get(self, page_id):
@@ -124,27 +339,31 @@ def enable():
         return frame
 
     def snapshot(self):
-        for pool in list(_pools):
-            if pool.stats is self and pool._dirty:
+        with state.meta:
+            pools = list(state.pools)
+        for pool in pools:
+            if pool.stats is self and _peek(pool, "_dirty"):
                 raise SanitizeError(
                     "sanitizer: IOStats.snapshot() while a BufferPool "
-                    f"on these stats holds {len(pool._dirty)} dirty "
-                    "page(s); flush() first so the snapshot matches "
-                    "what is on disk")
+                    f"on these stats holds {len(_peek(pool, '_dirty'))} "
+                    "dirty page(s); flush() first so the snapshot "
+                    "matches what is on disk")
         return original_snapshot(self)
 
     def write(self, page_id, data):
-        for pool in list(_pools):
+        with state.meta:
+            pools = list(state.pools)
+        for pool in pools:
             if pool._pager is not self or pool._wal is None:
                 continue
-            if page_id in pool._wal_uncommitted:
+            if page_id in _peek(pool, "_wal_uncommitted"):
                 raise SanitizeError(
                     f"sanitizer: Pager.write({page_id}) while the page "
                     "is dirty and uncommitted; the no-steal policy "
                     "forbids putting uncommitted changes in the data "
                     "file (redo-only recovery cannot undo them) -- "
                     "commit() the batch first")
-            lsn = pool._page_lsn.get(page_id)
+            lsn = _peek(pool, "_page_lsn").get(page_id)
             if lsn is not None and lsn >= pool._wal.flushed_lsn:
                 raise SanitizeError(
                     f"sanitizer: Pager.write({page_id}) before the "
@@ -159,18 +378,24 @@ def enable():
     BufferPool.get = get
     IOStats.snapshot = snapshot
     Pager.write = write
+    _install_descriptors()
+    latch_module.install_hooks(_on_acquire, _on_release)
 
 
 def disable():
     """Remove the runtime checks and restore the original methods."""
+    global _state
     if not _saved:
         return
+    latch_module.clear_hooks()
+    _remove_descriptors()
     BufferPool.__init__ = _saved.pop("pool_init")
     BufferPool.close = _saved.pop("pool_close")
     BufferPool.get = _saved.pop("pool_get")
     IOStats.snapshot = _saved.pop("stats_snapshot")
     Pager.write = _saved.pop("pager_write")
     _saved.clear()
+    _state = None
 
 
 @contextmanager

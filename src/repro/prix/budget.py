@@ -122,7 +122,7 @@ class BudgetMeter:
         self._io = io_stats
         self._clock = clock
         self._started = clock()
-        self._reads_base = io_stats.physical_reads if io_stats else 0
+        self._reads_base = io_stats.read("physical_reads") if io_stats else 0
         self.range_queries = 0
         self.candidates = 0
         self.phase = PHASE_FILTER
@@ -167,6 +167,6 @@ class BudgetMeter:
                 self._exceeded("deadline", elapsed, cap)
         cap = self.budget.max_physical_reads
         if cap is not None and self._io is not None:
-            reads = self._io.physical_reads - self._reads_base
+            reads = self._io.read("physical_reads") - self._reads_base
             if reads > cap:
                 self._exceeded("physical_reads", reads, cap)

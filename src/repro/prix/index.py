@@ -787,7 +787,7 @@ class PrixIndex:
                      else budget.meter(io_stats=self._pool.stats))
         variant_index = self._variants[variant]
         stats = QueryStats(variant=variant)
-        reads_before = self._pool.stats.physical_reads
+        reads_before = self._pool.stats.read("physical_reads")
         started = time.perf_counter()
         matches, stats = run_query(
             pattern, variant_index, self._view_loader(variant_index),
@@ -795,7 +795,8 @@ class PrixIndex:
             maxgap_granularity=maxgap_granularity, stats=stats,
             budget=meter)
         stats.elapsed_seconds = time.perf_counter() - started
-        stats.physical_reads = self._pool.stats.physical_reads - reads_before
+        stats.physical_reads = (self._pool.stats.read("physical_reads")
+                                - reads_before)
         return matches, stats
 
     def _view_loader(self, variant_index):

@@ -5,15 +5,37 @@ I/O so that only genuine buffer misses hit the disk.  This class mirrors
 that: a page request that hits the pool is a logical read; a miss goes to
 the pager and is counted as a physical read.  Benchmarks call
 :meth:`flush_and_clear` between queries to measure cold-cache behaviour.
+
+Concurrency (``docs/CONCURRENCY.md``): all frame-map state -- the frame
+table, dirty set, decoded cache, pin table and WAL bookkeeping -- is
+guarded by the pool's ``buffer-pool`` latch (``_latch``), with two
+load-bearing refinements:
+
+- **no blocking I/O under the latch**: every pager read/write and every
+  WAL append happens *outside* the latched sections, so one thread's
+  disk wait never serializes the others' cache hits (the
+  ``no-blocking-io-under-latch`` lint rule pins this down statically);
+- **single-flight misses**: concurrent misses on the same page elect one
+  loader via ``_loading`` and the rest wait on its event, so a page is
+  read from disk exactly once however many threads want it -- which is
+  what keeps ``physical_reads`` exactly conserved under the threaded
+  stress harness.  Dirty evictions park an event in the same table so a
+  re-read of an in-flight victim waits for the write-back to land.
+
+Pins are **thread-owned**: ``pin()`` records the calling thread, and an
+``unpin()`` from a thread that holds no pin on the page is a typed
+protocol error naming the actual owners.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 
 from repro.storage.errors import (BufferPoolExhaustedError, PageSizeError,
                                   PinProtocolError, WalProtocolError)
+from repro.storage.latch import Latch
 
 #: Pool capacity used by the experiments; matches the paper's 2000 pages.
 DEFAULT_POOL_PAGES = 2000
@@ -22,18 +44,33 @@ DEFAULT_POOL_PAGES = 2000
 class BufferPool:
     """Caches page images and tracks dirty state with LRU eviction."""
 
+    #: Machine-readable twin of the ``guarded-by`` comments in
+    #: ``__init__``; the runtime sanitizer installs guarded-access
+    #: assertions (reads and writes) from this mapping.
+    _GUARDED = {
+        "_frames": "_latch",
+        "_dirty": "_latch",
+        "_decoded": "_latch",
+        "_pins": "_latch",
+        "_loading": "_latch",
+        "_page_lsn": "_latch",
+        "_wal_uncommitted": "_latch",
+    }
+
     def __init__(self, pager, capacity=DEFAULT_POOL_PAGES):
         if capacity < 1:
             raise ValueError("buffer pool needs at least one frame")
         self._pager = pager
         self._capacity = capacity
-        self._frames = OrderedDict()  # page_id -> bytearray
-        self._dirty = set()
-        self._decoded = {}  # page_id -> decoded object (frame-resident only)
-        self._pins = {}  # page_id -> pin count (> 0; absent means unpinned)
+        self._latch = Latch("buffer-pool")  # prixrace: no-blocking-io
+        self._frames = OrderedDict()  # page_id -> bytearray  # prixrace: guarded-by=_latch
+        self._dirty = set()  # prixrace: guarded-by=_latch
+        self._decoded = {}  # page_id -> decoded object  # prixrace: guarded-by=_latch
+        self._pins = {}  # page_id -> {thread name -> count}  # prixrace: guarded-by=_latch
+        self._loading = {}  # page_id -> Event (in-flight I/O)  # prixrace: guarded-by=_latch
         self._wal = None
-        self._page_lsn = {}          # page_id -> LSN of last logged image
-        self._wal_uncommitted = set()  # dirtied since the last commit
+        self._page_lsn = {}  # page_id -> LSN of last logged image  # prixrace: guarded-by=_latch
+        self._wal_uncommitted = set()  # dirtied since last commit  # prixrace: guarded-by=_latch
         self.stats = pager.stats
 
     @property
@@ -66,11 +103,12 @@ class BufferPool:
         """
         if self._wal is not None:
             raise WalProtocolError("a WAL is already attached")
-        if self._dirty:
-            raise WalProtocolError(
-                "cannot attach a WAL to a pool with unlogged dirty "
-                f"pages {sorted(self._dirty)}; flush first")
-        self._wal = wal
+        with self._latch:
+            if self._dirty:
+                raise WalProtocolError(
+                    "cannot attach a WAL to a pool with unlogged dirty "
+                    f"pages {sorted(self._dirty)}; flush first")
+            self._wal = wal
         guard = self._pager.guard
         if guard is not None:
             # The log's committed images become the guard's read-repair
@@ -89,14 +127,19 @@ class BufferPool:
         """
         if self._wal is None:
             return None
+        with self._latch:
+            # Uncommitted pages are exempt from eviction, so the frames
+            # are necessarily still resident.
+            images = [(page_id, self._frames[page_id])
+                      for page_id in sorted(self._wal_uncommitted)]
         logged = 0
-        for page_id in sorted(self._wal_uncommitted):
-            # Uncommitted pages are exempt from eviction, so the frame
-            # is necessarily still resident.
-            self._page_lsn[page_id] = self._wal.log_page(
-                page_id, self._frames[page_id])
+        lsns = {}
+        for page_id, image in images:
+            lsns[page_id] = self._wal.log_page(page_id, image)
             logged += 1
-        self._wal_uncommitted.clear()
+        with self._latch:
+            self._page_lsn.update(lsns)
+            self._wal_uncommitted.difference_update(lsns)
         return self._wal.commit(page_count=logged)
 
     def checkpoint(self):
@@ -113,47 +156,83 @@ class BufferPool:
         self.flush()
         self._pager.sync()
         self._wal.checkpoint(self._pager.num_pages)
-        self._page_lsn.clear()
+        with self._latch:
+            self._page_lsn.clear()
 
-    def _note_dirty(self, page_id):
+    def _note_dirty(self, page_id):  # prixrace: requires=_latch
         """WAL bookkeeping for a freshly dirtied page."""
         if self._wal is not None:
             self._wal_uncommitted.add(page_id)
 
-    def _write_back(self, page_id, frame):
-        """Write one dirty frame to the data file, WAL permitting."""
+    def _write_back(self, page_id, frame, lsn, uncommitted):
+        """Write one dirty frame to the data file, WAL permitting.
+
+        ``lsn`` and ``uncommitted`` are captured under the latch by the
+        caller; the write itself runs latch-free (blocking I/O).
+        """
         if self._wal is not None:
-            if page_id in self._wal_uncommitted:
+            if uncommitted:
                 raise WalProtocolError(
                     f"page {page_id} is dirty but uncommitted; writing "
                     "it to the data file would steal an uncommitted "
                     "change that redo-only recovery cannot undo")
-            self._wal.require_durable(self._page_lsn.get(page_id, 0))
+            self._wal.require_durable(lsn)
         self._pager.write(page_id, frame)
 
     @property
     def cached_pages(self):
         """Currently resident frames."""
-        return len(self._frames)
+        with self._latch:
+            return len(self._frames)
 
     def get(self, page_id):
         """Return the page image, loading it through the pager on a miss."""
-        self.stats.logical_reads += 1
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self._frames.move_to_end(page_id)
+        self.stats.add(logical_reads=1)
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                return frame
+        return self._load(page_id)
+
+    def _load(self, page_id):
+        """Miss path: read through the pager, single-flight per page.
+
+        Exactly one thread performs the physical read for a given page;
+        every other thread that misses it concurrently waits on the
+        loader's event and then finds the frame resident.  Also parks
+        behind in-flight dirty-eviction write-backs of the same page, so
+        a reload cannot observe the pre-write-back file image.
+        """
+        while True:
+            with self._latch:
+                frame = self._frames.get(page_id)
+                if frame is not None:
+                    self._frames.move_to_end(page_id)
+                    return frame
+                flight = self._loading.get(page_id)
+                if flight is None:
+                    flight = threading.Event()
+                    self._loading[page_id] = flight
+                    break
+            flight.wait()
+        try:
+            frame = self._pager.read(page_id)
+            self._admit(page_id, frame)
             return frame
-        frame = self._pager.read(page_id)
-        self._admit(page_id, frame)
-        return frame
+        finally:
+            with self._latch:
+                self._loading.pop(page_id, None)
+            flight.set()
 
     def new_page(self):
         """Allocate a fresh page and return ``(page_id, frame)``."""
         page_id = self._pager.allocate()
         frame = bytearray(self._pager.page_size)
         self._admit(page_id, frame)
-        self._dirty.add(page_id)
-        self._note_dirty(page_id)
+        with self._latch:
+            self._dirty.add(page_id)
+            self._note_dirty(page_id)
         return page_id, frame
 
     def get_decoded(self, page_id, decoder):
@@ -165,14 +244,20 @@ class BufferPool:
         physical-read accounting is unaffected because the underlying
         frame is still fetched through :meth:`get`.
         """
-        cached = self._decoded.get(page_id)
-        if cached is not None and page_id in self._frames:
-            self.stats.logical_reads += 1
-            self._frames.move_to_end(page_id)
+        with self._latch:
+            cached = self._decoded.get(page_id)
+            if cached is not None and page_id in self._frames:
+                self._frames.move_to_end(page_id)
+            else:
+                cached = None
+        if cached is not None:
+            self.stats.add(logical_reads=1)
             return cached
         frame = self.get(page_id)
         decoded = decoder(page_id, frame)
-        self._decoded[page_id] = decoded
+        with self._latch:
+            if page_id in self._frames:
+                self._decoded[page_id] = decoded
         return decoded
 
     def pin(self, page_id):
@@ -181,30 +266,46 @@ class BufferPool:
         A pinned frame is exempt from eviction, so the returned
         ``bytearray`` stays the live in-pool image until the matching
         :meth:`unpin` -- mutations made to it cannot be silently written
-        back and then orphaned by an eviction mid-use.  Pins nest; every
-        ``pin`` needs exactly one ``unpin`` on every code path (prefer
-        :meth:`pinned`, which guarantees that).
+        back and then orphaned by an eviction mid-use.  Pins nest, are
+        owned by the calling thread, and every ``pin`` needs exactly one
+        ``unpin`` on every code path (prefer :meth:`pinned`, which
+        guarantees that).
         """
         frame = self.get(page_id)
-        self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        me = threading.current_thread().name
+        with self._latch:
+            by_thread = self._pins.setdefault(page_id, {})
+            by_thread[me] = by_thread.get(me, 0) + 1
         return frame
 
     def unpin(self, page_id):
-        """Release one pin on ``page_id``.
+        """Release one of the calling thread's pins on ``page_id``.
 
-        Raises :class:`PinProtocolError` when the frame is not pinned:
-        silently letting the count go negative would make a later
-        legitimate pin a no-op and reintroduce the eviction hazard the
-        pin was supposed to prevent.
+        Raises :class:`PinProtocolError` when this thread holds no pin
+        on the frame: silently letting the count go negative would make
+        a later legitimate pin a no-op and reintroduce the eviction
+        hazard the pin was supposed to prevent, and decrementing another
+        thread's pin would unprotect a frame that thread is still using.
+        The error names the actual owning threads so concurrent pin bugs
+        are diagnosable from the message alone.
         """
-        count = self._pins.get(page_id, 0)
-        if count <= 0:
-            raise PinProtocolError(
-                f"unpin of page {page_id} which has pin count 0")
-        if count == 1:
-            del self._pins[page_id]
-        else:
-            self._pins[page_id] = count - 1
+        me = threading.current_thread().name
+        with self._latch:
+            by_thread = self._pins.get(page_id)
+            held = 0 if by_thread is None else by_thread.get(me, 0)
+            if held <= 0:
+                total = 0 if by_thread is None else sum(by_thread.values())
+                owners = sorted(by_thread) if by_thread else []
+                detail = (f", owned by thread(s) {owners}" if owners else "")
+                raise PinProtocolError(
+                    f"unpin of page {page_id} by thread {me!r} which has "
+                    f"pin count 0 there (page total {total}{detail})")
+            if held == 1:
+                del by_thread[me]
+                if not by_thread:
+                    del self._pins[page_id]
+            else:
+                by_thread[me] = held - 1
 
     @contextmanager
     def pinned(self, page_id):
@@ -217,12 +318,20 @@ class BufferPool:
 
     def pin_count(self, page_id):
         """Current pin count of ``page_id`` (0 when unpinned)."""
-        return self._pins.get(page_id, 0)
+        with self._latch:
+            by_thread = self._pins.get(page_id)
+            return 0 if by_thread is None else sum(by_thread.values())
+
+    def pin_owners(self, page_id):
+        """``{thread name: pin count}`` for ``page_id`` (empty if none)."""
+        with self._latch:
+            return dict(self._pins.get(page_id, ()))
 
     @property
     def pinned_pages(self):
         """Page ids currently holding at least one pin."""
-        return frozenset(self._pins)
+        with self._latch:
+            return frozenset(self._pins)
 
     def put(self, page_id, data):
         """Replace the cached image of ``page_id`` and mark it dirty.
@@ -235,16 +344,18 @@ class BufferPool:
             raise PageSizeError(
                 f"page image must be exactly {self._pager.page_size} "
                 f"bytes, got {len(data)}")
-        frame = self._frames.get(page_id)
+        with self._latch:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
         if frame is None:
             frame = bytearray(self._pager.page_size)
             self._admit(page_id, frame)
-        else:
-            self._frames.move_to_end(page_id)
-        frame[:] = data
-        self._dirty.add(page_id)
-        self._note_dirty(page_id)
-        self._decoded.pop(page_id, None)
+        with self._latch:
+            frame[:] = data
+            self._dirty.add(page_id)
+            self._note_dirty(page_id)
+            self._decoded.pop(page_id, None)
         if self._pager.guard is not None:
             # The caller authored this full image, so it is the page's
             # new truth; the checksum stamp follows at write-back.
@@ -252,13 +363,14 @@ class BufferPool:
 
     def mark_dirty(self, page_id):
         """Flag an in-place mutation of the cached page image."""
-        if page_id not in self._frames:
-            raise KeyError(f"page {page_id} is not resident")
-        self._dirty.add(page_id)
-        self._note_dirty(page_id)
-        self._decoded.pop(page_id, None)
+        with self._latch:
+            if page_id not in self._frames:
+                raise KeyError(f"page {page_id} is not resident")
+            self._dirty.add(page_id)
+            self._note_dirty(page_id)
+            self._decoded.pop(page_id, None)
 
-    def _evictable(self, page_id):
+    def _evictable(self, page_id):  # prixrace: requires=_latch
         """Whether a frame may leave the pool right now.
 
         Pinned frames never move; with a WAL attached, dirty frames
@@ -269,12 +381,37 @@ class BufferPool:
             return False
         return page_id not in self._wal_uncommitted
 
+    def _exhausted(self, page_id):  # prixrace: requires=_latch
+        """The typed everything-is-pinned error, naming the pin owners."""
+        pages = len(self._pins)
+        total = sum(sum(by_thread.values())
+                    for by_thread in self._pins.values())
+        threads = sorted({name for by_thread in self._pins.values()
+                          for name in by_thread})
+        return BufferPoolExhaustedError(
+            f"all {self._capacity} frames are pinned; cannot admit page "
+            f"{page_id} ({total} pin(s) on {pages} page(s) held by "
+            f"thread(s) {threads}; unpin, or grow the pool)")
+
     def _admit(self, page_id, frame):
-        while len(self._frames) >= self._capacity:
-            victim_id = next((candidate for candidate in self._frames
-                              if self._evictable(candidate)), None)
-            if victim_id is None:
-                if self._wal is not None and self._wal_uncommitted:
+        """Insert ``frame``, evicting (and writing back) as needed.
+
+        Victim selection runs under the latch; the victim's write-back
+        runs outside it, with an event parked in ``_loading`` so a
+        concurrent reload of the victim waits for the write to land.
+        """
+        while True:
+            gate = None
+            force_commit = False
+            with self._latch:
+                if len(self._frames) < self._capacity:
+                    self._frames[page_id] = frame
+                    return
+                victim_id = next((candidate for candidate in self._frames
+                                  if self._evictable(candidate)), None)
+                if victim_id is None:
+                    if self._wal is None or not self._wal_uncommitted:
+                        raise self._exhausted(page_id)
                     # Memory pressure forces a batch boundary: under
                     # no-steal an uncommitted page cannot leave the
                     # pool, so a batch whose working set outgrows the
@@ -284,18 +421,29 @@ class BufferPool:
                     # open() rejects as incomplete); callers that need
                     # a batch to be all-or-nothing must size the pool
                     # to hold it.
-                    self.commit()
-                    continue
-                raise BufferPoolExhaustedError(
-                    f"all {self._capacity} frames are pinned; cannot "
-                    f"admit page {page_id} (unpin, or grow the pool)")
-            victim = self._frames.pop(victim_id)
-            if victim_id in self._dirty:
-                self._write_back(victim_id, victim)
-                self._dirty.discard(victim_id)
-            self._decoded.pop(victim_id, None)
-            self.stats.evictions += 1
-        self._frames[page_id] = frame
+                    force_commit = True
+                else:
+                    victim = self._frames.pop(victim_id)
+                    dirty = victim_id in self._dirty
+                    self._dirty.discard(victim_id)
+                    self._decoded.pop(victim_id, None)
+                    lsn = self._page_lsn.get(victim_id, 0)
+                    if dirty:
+                        gate = threading.Event()
+                        self._loading[victim_id] = gate
+            if force_commit:
+                self.commit()
+                continue
+            try:
+                if gate is not None:
+                    self._write_back(victim_id, victim, lsn,
+                                     uncommitted=False)
+            finally:
+                if gate is not None:
+                    with self._latch:
+                        self._loading.pop(victim_id, None)
+                    gate.set()
+            self.stats.add(evictions=1)
 
     def flush(self):
         """Write every dirty page back without evicting anything.
@@ -306,11 +454,24 @@ class BufferPool:
         file -- WAL-before-data, enforced per page in
         :meth:`_write_back`.
         """
-        if self._wal is not None and self._wal_uncommitted:
-            self.commit()
-        for page_id in sorted(self._dirty):
-            self._write_back(page_id, self._frames[page_id])
-        self._dirty.clear()
+        if self._wal is not None:
+            with self._latch:
+                need_commit = bool(self._wal_uncommitted)
+            if need_commit:
+                self.commit()
+        with self._latch:
+            todo = sorted(self._dirty)
+        for page_id in todo:
+            with self._latch:
+                frame = self._frames.get(page_id)
+                still_dirty = page_id in self._dirty
+                lsn = self._page_lsn.get(page_id, 0)
+                uncommitted = page_id in self._wal_uncommitted
+            if frame is None or not still_dirty:
+                continue
+            self._write_back(page_id, frame, lsn, uncommitted)
+            with self._latch:
+                self._dirty.discard(page_id)
 
     def flush_and_clear(self):
         """Write back all dirty pages and empty the pool (cold cache).
@@ -319,13 +480,17 @@ class BufferPool:
         the pinned ``bytearray`` from the pool, so later mutations through
         it would never reach disk.
         """
-        if self._pins:
-            raise PinProtocolError(
-                "flush_and_clear with outstanding pins on pages "
-                f"{sorted(self._pins)}")
+        with self._latch:
+            if self._pins:
+                owners = sorted({name for by_thread in self._pins.values()
+                                 for name in by_thread})
+                raise PinProtocolError(
+                    "flush_and_clear with outstanding pins on pages "
+                    f"{sorted(self._pins)} (held by thread(s) {owners})")
         self.flush()
-        self._frames.clear()
-        self._decoded.clear()
+        with self._latch:
+            self._frames.clear()
+            self._decoded.clear()
 
     def close(self):
         """Flush all dirty pages."""

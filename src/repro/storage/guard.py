@@ -213,7 +213,7 @@ class PageGuard:
             # covered at its next write-back (or via a scrub --stamp).
             self._trusted.add(page_id)
             return payload
-        self.stats.guard_verifications += 1
+        self.stats.add(guard_verifications=1)
         actual = page_checksum(page_id, bytes(payload))
         if actual == stamp:
             self._trusted.add(page_id)
@@ -223,7 +223,7 @@ class PageGuard:
             return repaired
         self._quarantined.add(page_id)
         self._trusted.discard(page_id)
-        self.stats.guard_quarantines += 1
+        self.stats.add(guard_quarantines=1)
         raise PageCorruptionError(
             page_id,
             f"page {page_id} failed checksum verification (stored "
@@ -241,7 +241,7 @@ class PageGuard:
         image = bytes(image)
         pager.repair_write(page_id, image)
         self.stamp(page_id, image)
-        self.stats.guard_repairs += 1
+        self.stats.add(guard_repairs=1)
         return bytearray(image)
 
     def stamp_all(self, pager):

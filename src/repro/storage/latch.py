@@ -1,0 +1,91 @@
+"""Named re-entrant latches for the storage layer (``prixrace``).
+
+A :class:`Latch` is a thin wrapper around :class:`threading.RLock` that
+adds the two things the concurrency tooling needs and a raw lock cannot
+provide:
+
+- a **role name** (``"buffer-pool"``, ``"pager-io"``, ``"io-stats"``),
+  which is the unit the lock-order discipline is defined over -- two
+  pools each have their own latch object, but both play the
+  ``"buffer-pool"`` role and must sit at the same position in the
+  acquisition order (``docs/CONCURRENCY.md``);
+- **observability**: the runtime sanitizer installs process-wide hooks
+  (:func:`install_hooks`) that see every acquire and release, which is
+  how ``PRIX_SANITIZE=1`` maintains per-thread held-latch stacks and the
+  dynamic acquisition-order graph.  ``threading.RLock`` is a C type and
+  cannot be monkeypatched, so the hook points live here instead.
+
+Without the sanitizer the wrapper is two attribute loads and a ``None``
+check per operation; the storage layer uses it unconditionally.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: ``(on_acquire, on_release)`` installed by the runtime sanitizer, or
+#: ``None``.  Read once per operation so a concurrent ``clear_hooks``
+#: cannot tear the pair.
+_hooks = None
+
+
+def install_hooks(on_acquire, on_release):
+    """Install process-wide latch observers (sanitizer use only).
+
+    ``on_acquire(latch)`` runs *before* the lock is taken -- so an
+    ordering violation can be raised without first deadlocking -- and
+    ``on_release(latch)`` runs just before the lock is dropped, while
+    the calling thread still owns it.
+    """
+    global _hooks
+    _hooks = (on_acquire, on_release)
+
+
+def clear_hooks():
+    """Remove the latch observers."""
+    global _hooks
+    _hooks = None
+
+
+class Latch:
+    """A named, re-entrant mutual-exclusion latch.
+
+    Usable as a context manager; ``with latch:`` is the preferred form
+    (the ``release-on-all-paths`` lint rule flags bare :meth:`acquire`
+    calls that can leak).
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name):
+        self.name = name
+        self._lock = threading.RLock()
+
+    def acquire(self):
+        """Take the latch, blocking until it is free (re-entrant)."""
+        hooks = _hooks
+        if hooks is not None:
+            hooks[0](self)
+        self._lock.acquire()
+
+    def release(self):
+        """Drop one level of ownership of the latch."""
+        hooks = _hooks
+        if hooks is not None:
+            hooks[1](self)
+        self._lock.release()
+
+    def owned(self):
+        """Whether the calling thread currently holds this latch."""
+        return self._lock._is_owned()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    def __repr__(self):
+        return f"<Latch {self.name!r}>"

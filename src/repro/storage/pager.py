@@ -4,6 +4,14 @@ A :class:`Pager` owns a flat file divided into fixed-size pages and counts
 every physical read and write.  It can also run over an in-memory byte
 buffer, which the test suite uses so thousands of storage tests stay fast
 while exercising exactly the same code paths.
+
+Concurrency: a single file object has a single seek position, so every
+seek-then-read/write pair is made atomic under the pager's ``pager-io``
+latch (``_io_latch``); without it, two threads reading different pages
+interleave their seeks and each gets the other's bytes.  The latch is
+re-entrant so guard read-repair (``repair_write`` called from inside a
+latched ``read``) nests cleanly.  See ``docs/CONCURRENCY.md`` for the
+latch order (``pager-io`` may take ``io-stats``, nothing else).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import io
 import os
 
 from repro.storage.errors import PageRangeError
+from repro.storage.latch import Latch
 from repro.storage.stats import IOStats
 
 #: Page size used throughout the reproduction; matches the paper's 8K pages.
@@ -50,18 +59,23 @@ class Pager:
     it never changes ``physical_reads``/``physical_writes``.
     """
 
+    #: Machine-readable twin of the ``guarded-by`` comments below, for
+    #: the runtime sanitizer's guarded-access assertions.
+    _GUARDED = {"_num_pages": "_io_latch"}
+
     def __init__(self, fileobj, page_size=DEFAULT_PAGE_SIZE, stats=None,
                  guard=None):
         self._file = fileobj
         self.page_size = page_size
         self.stats = stats if stats is not None else IOStats()
         self.guard = None
+        self._io_latch = Latch("pager-io")
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % page_size != 0:
             raise ValueError(
                 f"file size {size} is not a multiple of page size {page_size}")
-        self._num_pages = size // page_size
+        self._num_pages = size // page_size  # prixrace: guarded-by=_io_latch
         if guard is not None:
             self.attach_guard(guard)
 
@@ -90,26 +104,29 @@ class Pager:
     @property
     def num_pages(self):
         """Number of allocated pages."""
-        return self._num_pages
+        with self._io_latch:
+            return self._num_pages
 
     def allocate(self):
         """Extend the file by one zeroed page and return its id."""
-        page_id = self._num_pages
         zero = b"\x00" * self.page_size
-        self._file.seek(page_id * self.page_size)
-        self._file.write(zero)
-        self._num_pages += 1
-        self.stats.allocations += 1
+        with self._io_latch:
+            page_id = self._num_pages
+            self._file.seek(page_id * self.page_size)
+            self._file.write(zero)
+            self._num_pages += 1
+            self.stats.add(allocations=1)
         if self.guard is not None:
             self.guard.stamp(page_id, zero)
         return page_id
 
-    def _check_range(self, page_id):
+    def _check_range(self, page_id):  # prixrace: requires=_io_latch
         """Reject out-of-range page ids with a typed error.
 
         Without this, a negative id would surface as a raw ``OSError``/
         ``ValueError`` from the seek, and a too-large id on a write
         would silently extend the file behind the allocator's back.
+        Callers hold ``_io_latch`` (the bound is read under it).
         """
         if not isinstance(page_id, int) or isinstance(page_id, bool):
             raise PageRangeError(
@@ -128,16 +145,20 @@ class Pager:
         the page).  Raises :class:`PageRangeError` when ``page_id`` is
         outside the allocated range.
         """
-        self._check_range(page_id)
-        if self.guard is not None:
-            # Fail fast on a known-bad page, before spending (and
-            # counting) a physical read on bytes already condemned.
-            self.guard.check_quarantine(page_id)
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        self.stats.physical_reads += 1
-        if self.guard is not None:
-            data = self.guard.admit(page_id, data, self)
+        with self._io_latch:
+            self._check_range(page_id)
+            if self.guard is not None:
+                # Fail fast on a known-bad page, before spending (and
+                # counting) a physical read on bytes already condemned.
+                self.guard.check_quarantine(page_id)
+            self._file.seek(page_id * self.page_size)
+            data = self._file.read(self.page_size)
+            self.stats.add(physical_reads=1)
+            if self.guard is not None:
+                # Verification (and possible read-repair through
+                # ``repair_write``, which re-enters the latch) must see
+                # the same bytes the seek+read pair fetched.
+                data = self.guard.admit(page_id, data, self)
         return bytearray(data)
 
     def read_raw(self, page_id):
@@ -147,9 +168,10 @@ class Pager:
         content; there is nothing yet to verify against).  Everything
         else must go through :meth:`read`.
         """
-        self._check_range(page_id)
-        self._file.seek(page_id * self.page_size)
-        return bytearray(self._file.read(self.page_size))
+        with self._io_latch:
+            self._check_range(page_id)
+            self._file.seek(page_id * self.page_size)
+            return bytearray(self._file.read(self.page_size))
 
     def write(self, page_id, data):
         """Write one page back to the file (counted as a physical write).
@@ -157,14 +179,15 @@ class Pager:
         Raises :class:`PageRangeError` when ``page_id`` is outside the
         allocated range.
         """
-        self._check_range(page_id)
         if len(data) != self.page_size:
             raise ValueError(
                 f"page payload must be exactly {self.page_size} bytes, "
                 f"got {len(data)}")
-        self._file.seek(page_id * self.page_size)
-        self._file.write(bytes(data))
-        self.stats.physical_writes += 1
+        with self._io_latch:
+            self._check_range(page_id)
+            self._file.seek(page_id * self.page_size)
+            self._file.write(bytes(data))
+            self.stats.add(physical_writes=1)
         if self.guard is not None:
             self.guard.stamp(page_id, bytes(data))
 
@@ -176,17 +199,19 @@ class Pager:
         in ``guard_repairs`` rather than ``physical_writes`` -- exactly
         as recovery's replay writes are not query I/O.
         """
-        self._check_range(page_id)
         if len(data) != self.page_size:
             raise ValueError(
                 f"page payload must be exactly {self.page_size} bytes, "
                 f"got {len(data)}")
-        self._file.seek(page_id * self.page_size)
-        self._file.write(bytes(data))
+        with self._io_latch:
+            self._check_range(page_id)
+            self._file.seek(page_id * self.page_size)
+            self._file.write(bytes(data))
 
     def sync(self):
         """Flush the underlying file to stable storage where supported."""
-        fsync_file(self._file)
+        with self._io_latch:
+            fsync_file(self._file)
         if self.guard is not None:
             self.guard.sync()
 

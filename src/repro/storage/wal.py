@@ -210,8 +210,8 @@ class WriteAheadLog:
         self._file.write(frame)
         self._file.write(payload)
         self._end += _FRAME.size + len(payload)
-        self.stats.wal_appends += 1
-        self.stats.wal_bytes += _FRAME.size + len(payload)
+        self.stats.add(wal_appends=1,
+                       wal_bytes=_FRAME.size + len(payload))
         if self.sync_policy == SYNC_ALWAYS:
             self.sync()
         return lsn
@@ -242,7 +242,7 @@ class WriteAheadLog:
     def sync(self):
         """fsync the log; advances :attr:`flushed_lsn` to the end."""
         fsync_file(self._file)
-        self.stats.wal_fsyncs += 1
+        self.stats.add(wal_fsyncs=1)
         self._flushed_lsn = self.next_lsn
 
     def require_durable(self, lsn):

@@ -142,21 +142,50 @@ class TestRunner:
         assert payload["findings"][0]["rule"] == "no-raw-io"
         assert payload["findings"][0]["line"] == 1
 
+    def test_json_rule_counts_always_list_prixrace_rules(self, tmp_path,
+                                                         capsys):
+        dirty = self.write_dirty_tree(tmp_path)
+        assert main([str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        counts = payload["rule_counts"]
+        assert counts["no-raw-io"] == 1
+        # The four prixrace rules report explicitly even at zero, so
+        # the CI artifact proves the concurrency checks ran.
+        for rule in ("guarded-field-access", "lock-order",
+                     "no-blocking-io-under-latch",
+                     "release-on-all-paths"):
+            assert counts[rule] == 0
+
+    def test_json_rule_counts_include_grandfathered(self, tmp_path,
+                                                    capsys):
+        dirty = self.write_dirty_tree(tmp_path)
+        baseline_file = tmp_path / "base.json"
+        assert main([str(dirty), "--write-baseline",
+                     str(baseline_file)]) == 0
+        capsys.readouterr()
+        assert main([str(dirty), "--baseline", str(baseline_file),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["rule_counts"]["no-raw-io"] == 1  # still counted
+
     def test_rules_filter_and_unknown_rule(self, tmp_path, capsys):
         dirty = self.write_dirty_tree(tmp_path)
         assert main([str(dirty), "--rules", "seeded-rng"]) == 0
         assert main([str(dirty), "--rules", "no-such-rule"]) == 2
 
-    def test_list_rules_names_all_ten(self, capsys):
+    def test_list_rules_names_all_fourteen(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for name in ("no-raw-io", "seeded-rng", "stats-int-discipline",
                      "resource-safety", "no-mutable-default-arg",
                      "no-bare-except", "pin-unpin-balance",
                      "dirty-page-escape", "stats-read-before-flush",
-                     "close-on-all-paths"):
+                     "close-on-all-paths", "guarded-field-access",
+                     "lock-order", "no-blocking-io-under-latch",
+                     "release-on-all-paths"):
             assert name in out
-        assert len(rules_by_name()) == 10
+        assert len(rules_by_name()) == 14
 
     def test_write_baseline_flag(self, tmp_path, capsys):
         dirty = self.write_dirty_tree(tmp_path)

@@ -10,6 +10,7 @@ static twin rules are opted out where they would fire:
 import os
 import subprocess
 import sys
+import threading
 
 import pytest
 
@@ -196,6 +197,161 @@ class TestEnvActivation:
     def test_prix_sanitize_0_and_unset_stay_off(self):
         assert self._run("0") == "False"
         assert self._run(None) == "False"
+
+
+class TestGuardedFieldDescriptors:
+    """Dynamic guarded-field-access: silent while thread-confined,
+    loud the moment a second thread touches the object unlatched."""
+
+    def test_thread_confined_unlatched_access_passes(self, sanitized):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        assert pid in pool._frames  # one thread: Eraser refinement
+
+    def run_in_thread(self, target):
+        errors = []
+
+        def wrapped():
+            try:
+                target()
+            except sanitizer.SanitizeError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=wrapped, name="second-toucher")
+        thread.start()
+        thread.join()
+        return errors
+
+    def test_shared_unlatched_access_trips_in_second_thread(self,
+                                                            sanitized):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        errors = self.run_in_thread(lambda: pool._frames.get(pid))
+        assert len(errors) == 1
+        assert "BufferPool._frames" in str(errors[0])
+        assert "second-toucher" in str(errors[0])
+
+    def test_shared_latched_access_passes(self, sanitized):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+
+        def latched_read():
+            with pool._latch:
+                pool._frames.get(pid)
+
+        assert self.run_in_thread(latched_read) == []
+
+    def test_public_api_is_race_free_across_threads(self, sanitized):
+        # The real protocol: a second thread going through get() takes
+        # the latch internally, so nothing trips.
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.flush()
+        assert self.run_in_thread(lambda: pool.get(pid)) == []
+
+    def test_descriptors_removed_on_disable(self):
+        with sanitizer.sanitized():
+            assert "_frames" in BufferPool.__dict__  # descriptor installed
+        assert "_frames" not in BufferPool.__dict__
+
+
+class TestThreadLocalState:
+    """Satellite: sanitizer state is per-thread where it must be (held
+    stacks) and process-wide where it must be (pool registry, order
+    graph)."""
+
+    def test_held_stacks_are_thread_local(self, sanitized):
+        from repro.storage.latch import Latch
+        latch = Latch("tl-test")
+        latch.acquire()
+        try:
+            other = []
+            thread = threading.Thread(
+                target=lambda: other.append(
+                    list(sanitizer._state.tls.held)))
+            thread.start()
+            thread.join()
+            assert other == [[]]  # fresh stack in the new thread
+            assert "tl-test" in sanitizer._state.tls.held
+        finally:
+            latch.release()
+        assert "tl-test" not in sanitizer._state.tls.held
+
+    def test_order_graph_is_process_wide(self, sanitized):
+        from repro.storage.latch import Latch
+        a, b = Latch("tl-a"), Latch("tl-b")
+
+        def nest_ab():
+            with a:
+                with b:
+                    pass
+
+        thread = threading.Thread(target=nest_ab)
+        thread.start()
+        thread.join()
+        # The main thread now observes the edge the worker created.
+        with sanitizer._state.meta:
+            assert "tl-b" in sanitizer._state.order.get("tl-a", set())
+
+
+class TestRuntimeLockOrder:
+    """Dynamic lock-order: the cycle is raised on the acquire that
+    would close it, before blocking -- no two threads needed."""
+
+    def test_opposite_nesting_raises_before_deadlock(self, sanitized):
+        from eviltwin_pool import EvilPool
+        pool = EvilPool(pager=None)
+        pool.take_frames_then_order()
+        with pytest.raises(sanitizer.SanitizeError) as excinfo:
+            pool.take_order_then_frames()
+        assert "cycle" in str(excinfo.value)
+        assert "evil-frames" in str(excinfo.value)
+
+    def test_consistent_order_is_silent(self, sanitized):
+        from eviltwin_pool import EvilPool
+        pool = EvilPool(pager=None)
+        assert pool.take_frames_then_order() == 0
+        assert pool.take_frames_then_order() == 0
+
+    def test_reentrant_acquire_is_silent(self, sanitized):
+        from repro.storage.latch import Latch
+        latch = Latch("re-entrant")
+        with latch:
+            with latch:
+                pass
+
+    def test_storage_layer_order_is_acyclic(self, sanitized):
+        # Drive the real pool through its paces; the hooks observe
+        # buffer-pool -> io-stats and pager-io -> io-stats, never a
+        # cycle.
+        pool = make_pool(capacity=2)
+        pids = [pool.new_page()[0] for _ in range(4)]
+        pool.flush()
+        for pid in pids:
+            pool.get(pid)
+        pool.close()
+
+
+class TestEvilBufferPoolRuntime:
+    def test_latch_bypassing_get_trips_when_shared(self, sanitized):
+        from eviltwin_pool import EvilBufferPool
+        pool = EvilBufferPool(Pager.in_memory(page_size=32), capacity=4)
+        pid, _ = pool.new_page()
+        pool.flush()
+        pool.get(pid)  # still thread-confined: silent
+        errors = []
+
+        def racy_get():
+            try:
+                pool.get(pid)
+            except sanitizer.SanitizeError as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=racy_get, name="evil-reader")
+        thread.start()
+        thread.join()
+        assert len(errors) == 1
+        assert "BufferPool._frames" in str(errors[0])
 
 
 class TestGuardTrust:

@@ -69,8 +69,8 @@ class TestViolationsAreCaught:
     def test_float_into_counter_fails_lint(self, tmp_path):
         result = self.corrupt_and_lint(
             tmp_path, Path("storage") / "pager.py",
-            lambda text: text.replace("self.stats.physical_reads += 1",
-                                      "self.stats.physical_reads += 1.0"))
+            lambda text: text.replace("self.stats.add(physical_reads=1)",
+                                      "self.stats.add(physical_reads=1.0)"))
         assert any(f.rule == "stats-int-discipline"
                    for f in result.findings)
 

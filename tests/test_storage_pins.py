@@ -8,6 +8,8 @@ opted out file-wide:
 # prixlint: disable-file=pin-unpin-balance
 """
 
+import threading
+
 import pytest
 
 from repro.storage.buffer_pool import BufferPool
@@ -93,6 +95,71 @@ class TestPinsAndEviction:
             pool.flush_and_clear()
         pool.unpin(pid)
         pool.flush_and_clear()  # fine once released
+
+
+class TestThreadOwnedPins:
+    """Pins belong to the thread that took them; the error messages
+    name threads so concurrent pin bugs are attributable."""
+
+    def run_in_thread(self, name, target):
+        box = []
+
+        def wrapped():
+            try:
+                box.append(("ok", target()))
+            except Exception as error:  # noqa: BLE001 - relayed to caller
+                box.append(("err", error))
+
+        thread = threading.Thread(target=wrapped, name=name)
+        thread.start()
+        thread.join()
+        return box[0]
+
+    def test_pin_owners_names_threads(self, pool):
+        (pid,) = fill(pool, 1)
+        pool.pin(pid)
+        self.run_in_thread("reader-7", lambda: pool.pin(pid))
+        owners = pool.pin_owners(pid)
+        assert owners[threading.current_thread().name] == 1
+        assert owners["reader-7"] == 1
+        assert pool.pin_count(pid) == 2
+        pool.unpin(pid)
+        status, result = self.run_in_thread(
+            "reader-7", lambda: pool.unpin(pid))
+        assert status == "ok"
+
+    def test_cross_thread_unpin_raises_with_owner_names(self, pool):
+        (pid,) = fill(pool, 1)
+        pool.pin(pid)
+        status, error = self.run_in_thread(
+            "impostor", lambda: pool.unpin(pid))
+        assert status == "err"
+        assert isinstance(error, PinProtocolError)
+        message = str(error)
+        assert "impostor" in message  # who unpinned wrongly
+        assert threading.current_thread().name in message  # who holds it
+        pool.unpin(pid)
+
+    def test_exhausted_message_names_capacity_and_owners(self, pool):
+        pids = fill(pool, 3)
+        for pid in pids:
+            pool.pin(pid)
+        with pytest.raises(BufferPoolExhaustedError) as excinfo:
+            pool.new_page()
+        message = str(excinfo.value)
+        assert "all 3 frames are pinned" in message
+        assert "3 pin(s) on 3 page(s)" in message
+        assert threading.current_thread().name in message
+        for pid in pids:
+            pool.unpin(pid)
+
+    def test_flush_and_clear_refusal_names_owners(self, pool):
+        (pid,) = fill(pool, 1)
+        pool.pin(pid)
+        with pytest.raises(PinProtocolError) as excinfo:
+            pool.flush_and_clear()
+        assert threading.current_thread().name in str(excinfo.value)
+        pool.unpin(pid)
 
 
 class TestPinnedContextManager:
