@@ -32,7 +32,7 @@ def build_all(corpus_name):
     started = time.perf_counter()
     prix = PrixIndex.build(docs, IndexOptions(page_size=BENCH_PAGE_SIZE))
     results["PRIX (rp+ep)"] = (time.perf_counter() - started,
-                               prix._pool._pager.num_pages)
+                               prix._pool.num_pages)
 
     pool = BufferPool(Pager.in_memory(page_size=BENCH_PAGE_SIZE))
     started = time.perf_counter()

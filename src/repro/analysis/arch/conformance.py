@@ -1,0 +1,161 @@
+"""Structural conformance of ``# priximpl:`` classes to their Protocol.
+
+A class carrying ``# priximpl: StorageBackend`` on its ``class`` line
+promises to be a drop-in implementation of that Protocol.  The check is
+structural and static -- no instantiation, no ``isinstance`` -- and
+covers four obligations:
+
+* **presence**: every public Protocol method and attribute exists on
+  the class or along its project-known MRO;
+* **signature**: the positional parameter names of each method match
+  the Protocol's exactly (extra defaulted parameters are allowed);
+* **effects**: the implementation's *inferred* effects for each method
+  are a subset of the effects the Protocol method declares with
+  ``# prixeffect: declares=`` -- an implementation may do less than
+  the interface allows, never more;
+* **exceptions**: every ``raise Name(...)`` in a defining method body
+  names either a project-defined ``*Error`` class (the typed storage
+  vocabulary of ``repro.storage.errors``) or one of a small builtin
+  allowlist -- ad-hoc ``RuntimeError`` escapes the typed-error
+  contract callers rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Builtin exceptions an implementation may raise without a typed wrapper.
+ALLOWED_BUILTIN_RAISES = frozenset({
+    "ValueError", "TypeError", "KeyError", "IndexError",
+    "NotImplementedError", "StopIteration",
+})
+
+
+class ConformanceIssue:
+    """One conformance defect, anchored to a module:line of the impl."""
+
+    def __init__(self, cls, lineno, message, module=None):
+        self.cls = cls
+        self.module = cls.module if module is None else module
+        self.lineno = lineno
+        self.message = message
+
+
+def _positional_names(node):
+    args = node.args
+    return tuple(a.arg for a in args.posonlyargs + args.args)
+
+
+def _is_property(node):
+    return any(isinstance(d, ast.Name) and d.id == "property"
+               for d in node.decorator_list)
+
+
+def _protocol_members(protocol):
+    """(methods, attributes) required by a Protocol class."""
+    methods, attributes = {}, set(protocol.class_attrs)
+    for name, info in protocol.methods.items():
+        if name.startswith("_"):
+            continue
+        if _is_property(info.node):
+            attributes.add(name)
+        else:
+            methods[name] = info
+    return methods, attributes
+
+
+def find_protocol(project, name):
+    """The unique Protocol class called ``name`` in the project, or None."""
+    for module in project.modules.values():
+        cls = module.classes.get(name)
+        if cls is not None and cls.is_protocol:
+            return cls
+    return None
+
+
+def _raise_issues(project, impl_cls, method, required_effects):
+    """Exception-vocabulary defects in one defining method body."""
+    from repro.analysis.arch.effects import _body_walk
+    issues = []
+    module = project.modules[method.module]
+    for node in _body_walk(method.node):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name is None:
+            continue
+        if name in ALLOWED_BUILTIN_RAISES:
+            continue
+        resolved = project.resolve_class(module, name)
+        if resolved is not None and name.endswith("Error"):
+            continue
+        # Name the *defining* method, so the same inherited body checked
+        # through several implementations dedupes to one finding.
+        owner = method.qualname.split(":", 1)[1]
+        issues.append(ConformanceIssue(
+            impl_cls, node.lineno,
+            f"{owner} raises {name}, which is outside the typed error "
+            f"vocabulary (project *Error classes or "
+            f"{'/'.join(sorted(ALLOWED_BUILTIN_RAISES))})",
+            module=method.module))
+    return issues
+
+
+def check_implementation(project, cls):
+    """All conformance issues for one ``# priximpl:`` class."""
+    issues = []
+    protocol = find_protocol(project, cls.implements)
+    if protocol is None:
+        issues.append(ConformanceIssue(
+            cls, cls.lineno,
+            f"{cls.name} declares `# priximpl: {cls.implements}` but no "
+            f"Protocol class named {cls.implements!r} is among the "
+            f"analyzed files"))
+        return issues
+    methods, attributes = _protocol_members(protocol)
+    for attr in sorted(attributes):
+        if not project.has_attribute(cls, attr):
+            issues.append(ConformanceIssue(
+                cls, cls.lineno,
+                f"{cls.name} is missing attribute {attr!r} required by "
+                f"{protocol.name}"))
+    checked_bodies = set()
+    for name in sorted(methods):
+        proto_method = methods[name]
+        impl_method = project.lookup_method(cls, name)
+        if impl_method is None:
+            issues.append(ConformanceIssue(
+                cls, cls.lineno,
+                f"{cls.name} is missing method {name!r} required by "
+                f"{protocol.name}"))
+            continue
+        expected = _positional_names(proto_method.node)
+        actual = _positional_names(impl_method.node)
+        # Extra trailing defaulted parameters are compatible.
+        if actual[:len(expected)] != expected:
+            issues.append(ConformanceIssue(
+                cls, impl_method.lineno
+                if impl_method.module == cls.module else cls.lineno,
+                f"{cls.name}.{name} signature ({', '.join(actual)}) does "
+                f"not match {protocol.name}.{name} "
+                f"({', '.join(expected)})"))
+        if proto_method.declared is not None:
+            excess = impl_method.effects - proto_method.declared
+            if excess:
+                issues.append(ConformanceIssue(
+                    cls, impl_method.lineno
+                    if impl_method.module == cls.module else cls.lineno,
+                    f"{cls.name}.{name} has inferred effect(s) "
+                    f"{', '.join(sorted(excess))} not permitted by "
+                    f"{protocol.name}.{name} "
+                    f"(declares={','.join(sorted(proto_method.declared))})"))
+        if impl_method.qualname not in checked_bodies:
+            checked_bodies.add(impl_method.qualname)
+            issues.extend(_raise_issues(project, cls, impl_method,
+                                        proto_method.declared))
+    return issues

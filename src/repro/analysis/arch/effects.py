@@ -1,0 +1,476 @@
+"""Whole-project model and effect inference.
+
+The effect vocabulary (``docs/ARCHITECTURE.md``) names the six side
+effects a storage function can have on the paper's reproduced numbers
+and on concurrency state:
+
+``raw-io``
+    Unmediated file traffic: ``open()``, ``os.*``/``io.*`` file calls,
+    ``mmap.mmap``, or direct file-handle operations.  Seeded only in
+    the sanctioned gateways (``pager.py``, ``wal.py``, ``guard.py``,
+    ``mmapio.py``) plus anything that transitively calls them.
+``pager-io``
+    Page traffic through a pager substrate -- the calls that move the
+    "Disk IO pages" columns of Tables 4-9.
+``wal-io``
+    Write-ahead-log traffic (``wal_appends``/``wal_bytes`` counters).
+``latch-acquire``
+    Takes a latch (``with self._latch`` / ``latch.acquire()``).
+``stats-mutate``
+    Mutates :class:`~repro.storage.stats.IOStats` counters.
+``alloc-page``
+    Grows the page file (``allocate()`` / ``new_page()``).
+
+Direct effects are seeded syntactically (gateway file-handle calls,
+receiver-name heuristics for pager/WAL/stats/latch traffic), then
+propagated to a fixpoint over every call the resolver can bind:
+same-module functions, ``self.``/``cls.``/``super().`` methods through
+the project class table, imported project functions and classes, and
+locally constructed instances.  Calls that cannot be resolved simply
+contribute nothing -- the inference is deliberately a *lower bound* on
+real behaviour, which is why ``# prixeffect: declares=`` contracts are
+checked as upper bounds: everything inferred must be declared, while
+declaring more than is inferred is legal (a substrate may promise less
+than its interface allows).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+
+from repro.analysis.arch.imports import (collect_imports, module_name_for)
+
+#: The closed effect vocabulary.
+EFFECTS = frozenset({
+    "raw-io", "pager-io", "wal-io", "latch-acquire", "stats-mutate",
+    "alloc-page",
+})
+
+#: ``# prixeffect: declares=pager-io,latch-acquire`` on a def line.
+_EFFECT_DECL = re.compile(r"#\s*prixeffect:\s*declares=([A-Za-z\-,\s]*)")
+
+#: ``# priximpl: StorageBackend`` on a class def line.
+_IMPL_MARK = re.compile(r"#\s*priximpl:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Sanctioned raw-I/O gateway files (mirrors NoRawIoRule.GATEWAY_FILES).
+GATEWAY_FILES = ("pager.py", "wal.py", "guard.py", "mmapio.py")
+
+#: Receiver names that look like a raw file handle (gateway files only).
+_FILE_RECV = re.compile(r"(^|_)(file|fileobj|handle|fh)\d*$")
+_FILE_OPS = frozenset({"read", "write", "seek", "truncate", "flush",
+                       "readinto", "tell", "fileno"})
+
+#: ``os``/``io`` members that constitute raw file traffic (kept in sync
+#: with rules_io.OS_FILE_FUNCS / IO_FILE_FUNCS by the self-check tests).
+_OS_FILE_FUNCS = frozenset({
+    "open", "fdopen", "read", "write", "pread", "pwrite", "sendfile",
+    "remove", "unlink", "rename", "replace", "truncate", "ftruncate",
+    "mkstemp", "mkdir", "makedirs", "fsync",
+})
+_IO_FILE_FUNCS = frozenset({"open", "FileIO"})
+
+_PAGER_RECV = re.compile(r"pager", re.IGNORECASE)
+_PAGER_OPS = frozenset({"read", "read_raw", "write", "repair_write",
+                        "sync", "allocate", "close"})
+_WAL_RECV = re.compile(r"(^|_)wal\d*$|^wal_", re.IGNORECASE)
+_WAL_OPS = frozenset({"log_page", "commit", "checkpoint", "replay",
+                      "require_durable", "sync", "close", "open"})
+_LATCH_RECV = re.compile(r"latch|lock", re.IGNORECASE)
+_STATS_RECV = re.compile(r"stats", re.IGNORECASE)
+_ALLOC_OPS = frozenset({"allocate", "new_page"})
+
+
+def parse_effect_decl(line):
+    """Declared effect set from a def-line comment, or None.
+
+    Returns a frozenset (possibly empty: ``declares=`` alone promises a
+    pure function).  Unknown effect names are preserved so the contract
+    rule can flag them.
+    """
+    match = _EFFECT_DECL.search(line)
+    if match is None:
+        return None
+    names = [part.strip() for part in match.group(1).split(",")]
+    return frozenset(name for name in names if name)
+
+
+def parse_impl_mark(line):
+    """Protocol name from a ``# priximpl:`` class-line comment, or None."""
+    match = _IMPL_MARK.search(line)
+    return None if match is None else match.group(1)
+
+
+def _terminal_name(node):
+    """Rightmost bare identifier of a Name/Attribute chain, or None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class FunctionInfo:
+    """One function or method: location, contracts, effects, callees."""
+
+    def __init__(self, module, qualname, node, cls=None):
+        self.module = module
+        self.qualname = qualname        # "repro.storage.pager:Pager.read"
+        self.node = node
+        self.cls = cls                  # owning ClassInfo, or None
+        self.name = node.name
+        self.lineno = node.lineno
+        self.declared = None            # frozenset from # prixeffect:
+        self.direct = set()             # syntactically seeded effects
+        self.calls = set()              # resolved callee qualnames
+        self.effects = set()            # fixpoint result
+
+    def __repr__(self):                 # pragma: no cover - debugging aid
+        return f"FunctionInfo({self.qualname!r})"
+
+
+class ClassInfo:
+    """One class: methods, base names, priximpl marker, attributes."""
+
+    def __init__(self, module, name, node):
+        self.module = module
+        self.name = name
+        self.node = node
+        self.lineno = node.lineno
+        self.bases = [b for b in (_terminal_name(base)
+                                  for base in node.bases) if b]
+        self.methods = {}               # name -> FunctionInfo
+        self.class_attrs = set()        # names assigned at class level
+        self.instance_attrs = set()     # self.<name> assigned in methods
+        self.implements = None          # protocol name from # priximpl:
+        self.is_protocol = "Protocol" in self.bases
+
+    @property
+    def qualname(self):
+        return f"{self.module}:{self.name}"
+
+
+class ModuleInfo:
+    """One source file: imports, top-level functions, classes."""
+
+    def __init__(self, source, name):
+        self.source = source
+        self.name = name
+        is_package = PurePath(source.path).name == "__init__.py"
+        self.imports = collect_imports(source.tree, name, is_package)
+        self.functions = {}             # bare name -> FunctionInfo
+        self.classes = {}               # bare name -> ClassInfo
+        self.is_gateway = PurePath(source.path).name in GATEWAY_FILES
+        #: local binding -> project target, filled by ProjectModel:
+        #:   ("module", dotted)  for `import X` / `from pkg import mod`
+        #:   ("member", dotted, name) for `from mod import name`
+        self.bindings = {}
+
+
+class ProjectModel:
+    """Cross-file function/class tables plus inferred effects."""
+
+    def __init__(self, sources):
+        self.modules = {}               # dotted name -> ModuleInfo
+        self.functions = {}             # qualname -> FunctionInfo
+        for source in sources:
+            name = module_name_for(source.path)
+            module = ModuleInfo(source, name)
+            self.modules[name] = module
+            self._index_module(module)
+        for module in self.modules.values():
+            self._bind_imports(module)
+        for function in self.functions.values():
+            _CallCollector(self, function).collect()
+        self._infer_fixpoint()
+
+    # ---------------------------------------------------------------- build
+
+    def _index_module(self, module):
+        source = module.source
+        for node in source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._make_function(module, node, None)
+                module.functions[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(module.name, node.name, node)
+                cls.implements = parse_impl_mark(
+                    source.lines[node.lineno - 1]
+                    if node.lineno <= len(source.lines) else "")
+                module.classes[node.name] = cls
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        info = self._make_function(module, item, cls)
+                        cls.methods[item.name] = info
+                    elif isinstance(item, ast.Assign):
+                        for target in item.targets:
+                            if isinstance(target, ast.Name):
+                                cls.class_attrs.add(target.id)
+                    elif (isinstance(item, ast.AnnAssign)
+                            and isinstance(item.target, ast.Name)):
+                        cls.class_attrs.add(item.target.id)
+                for sub in ast.walk(node):
+                    if (isinstance(sub, ast.Attribute)
+                            and isinstance(sub.ctx, ast.Store)
+                            and isinstance(sub.value, ast.Name)
+                            and sub.value.id == "self"):
+                        cls.instance_attrs.add(sub.attr)
+
+    def _make_function(self, module, node, cls):
+        suffix = node.name if cls is None else f"{cls.name}.{node.name}"
+        info = FunctionInfo(module.name, f"{module.name}:{suffix}",
+                            node, cls)
+        lines = module.source.lines
+        if node.lineno <= len(lines):
+            info.declared = parse_effect_decl(lines[node.lineno - 1])
+        info.direct = _direct_effects(node, module)
+        self.functions[info.qualname] = info
+        return info
+
+    def _bind_imports(self, module):
+        for edge in module.imports:
+            if edge.member is not None:
+                submodule = f"{edge.target}.{edge.member}"
+                if submodule in self.modules:
+                    module.bindings[edge.member] = ("module", submodule)
+                elif edge.target in self.modules:
+                    module.bindings[edge.member] = ("member", edge.target,
+                                                    edge.member)
+            else:
+                if edge.target in self.modules:
+                    local = edge.target.split(".")[0]
+                    module.bindings.setdefault(local,
+                                               ("module", edge.target))
+
+    # ------------------------------------------------------------- resolve
+
+    def resolve_class(self, module, name):
+        """ClassInfo visible as ``name`` from ``module``, or None."""
+        cls = module.classes.get(name)
+        if cls is not None:
+            return cls
+        binding = module.bindings.get(name)
+        if binding is not None and binding[0] == "member":
+            target = self.modules.get(binding[1])
+            if target is not None:
+                return target.classes.get(binding[2])
+        return None
+
+    def mro(self, cls):
+        """Left-to-right DFS linearization over project-known bases."""
+        order, stack, seen = [], [cls], set()
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            order.append(current)
+            module = self.modules[current.module]
+            bases = [self.resolve_class(module, base)
+                     for base in current.bases]
+            stack = [b for b in bases if b is not None] + stack
+        return order
+
+    def lookup_method(self, cls, name):
+        """FunctionInfo for ``name`` along the MRO, or None."""
+        for ancestor in self.mro(cls):
+            info = ancestor.methods.get(name)
+            if info is not None:
+                return info
+        return None
+
+    def has_attribute(self, cls, name):
+        """Whether ``cls`` (or a base) defines/assigns ``name``."""
+        for ancestor in self.mro(cls):
+            if (name in ancestor.methods
+                    or name in ancestor.class_attrs
+                    or name in ancestor.instance_attrs):
+                return True
+        return False
+
+    # --------------------------------------------------------------- infer
+
+    def _infer_fixpoint(self):
+        for info in self.functions.values():
+            info.effects = set(info.direct)
+        changed = True
+        while changed:
+            changed = False
+            for info in self.functions.values():
+                for callee in info.calls:
+                    target = self.functions.get(callee)
+                    if target is None:
+                        continue
+                    if not target.effects <= info.effects:
+                        info.effects |= target.effects
+                        changed = True
+
+    def effect_report(self):
+        """JSON-ready mapping of every function's contract and effects."""
+        report = {}
+        for qualname in sorted(self.functions):
+            info = self.functions[qualname]
+            entry = {"effects": sorted(info.effects)}
+            if info.declared is not None:
+                entry["declares"] = sorted(info.declared)
+            report[qualname] = entry
+        return report
+
+
+def _body_walk(node):
+    """Walk a function body without descending into nested defs/classes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _direct_effects(node, module):
+    """Syntactically seeded effects of one function body."""
+    effects = set()
+    for sub in _body_walk(node):
+        if isinstance(sub, (ast.With, ast.AsyncWith)):
+            for item in sub.items:
+                name = _terminal_name(item.context_expr)
+                if name and _LATCH_RECV.search(name):
+                    effects.add("latch-acquire")
+        elif isinstance(sub, ast.Call):
+            effects |= _call_effects(sub, module)
+    return effects
+
+
+def _call_effects(call, module):
+    func = call.func
+    effects = set()
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            effects.add("raw-io")
+        return effects
+    if not isinstance(func, ast.Attribute):
+        return effects
+    attr = func.attr
+    receiver = _terminal_name(func.value)
+    if isinstance(func.value, ast.Name):
+        base = func.value.id
+        if base == "os" and attr in _OS_FILE_FUNCS:
+            effects.add("raw-io")
+        elif base == "io" and attr in _IO_FILE_FUNCS:
+            effects.add("raw-io")
+        elif base == "mmap" and attr == "mmap":
+            effects.add("raw-io")
+    if receiver is None:
+        return effects
+    if (module.is_gateway and attr in _FILE_OPS
+            and _FILE_RECV.search(receiver)):
+        effects.add("raw-io")
+    if _PAGER_RECV.search(receiver) and attr in _PAGER_OPS:
+        effects.add("pager-io")
+    if _WAL_RECV.search(receiver) and attr in _WAL_OPS:
+        effects.add("wal-io")
+    if attr in _ALLOC_OPS:
+        effects.add("alloc-page")
+    if attr == "add" and _STATS_RECV.search(receiver):
+        effects.add("stats-mutate")
+    if attr == "acquire" and _LATCH_RECV.search(receiver):
+        effects.add("latch-acquire")
+    return effects
+
+
+class _CallCollector:
+    """Resolve the calls of one function against the project model."""
+
+    _CTOR_CLASSMETHODS = frozenset({"open", "in_memory", "from_file",
+                                    "build", "attach"})
+
+    def __init__(self, project, function):
+        self.project = project
+        self.function = function
+        self.module = project.modules[function.module]
+        self.local_types = {}           # var name -> ClassInfo
+
+    def collect(self):
+        # First pass: constructor-ish assignments give local var types.
+        for sub in _body_walk(self.function.node):
+            if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)):
+                cls = self._constructed_class(sub.value)
+                if cls is not None:
+                    self.local_types[sub.targets[0].id] = cls
+        for sub in _body_walk(self.function.node):
+            if isinstance(sub, ast.Call):
+                target = self._resolve_call(sub)
+                if target is not None:
+                    self.function.calls.add(target.qualname)
+
+    def _constructed_class(self, value):
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name):
+            return self.project.resolve_class(self.module, func.id)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.attr in self._CTOR_CLASSMETHODS):
+            return self.project.resolve_class(self.module, func.value.id)
+        return None
+
+    def _resolve_call(self, call):
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        value = func.value
+        # super().method(...)
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "super"
+                and self.function.cls is not None):
+            mro = self.project.mro(self.function.cls)
+            for ancestor in mro[1:]:
+                if attr in ancestor.methods:
+                    return ancestor.methods[attr]
+            return None
+        if not isinstance(value, ast.Name):
+            return None
+        base = value.id
+        if base in ("self", "cls") and self.function.cls is not None:
+            return self.project.lookup_method(self.function.cls, attr)
+        binding = self.module.bindings.get(base)
+        if binding is not None and binding[0] == "module":
+            target = self.project.modules.get(binding[1])
+            if target is not None:
+                if attr in target.functions:
+                    return target.functions[attr]
+                cls = target.classes.get(attr)
+                if cls is not None:
+                    return self.project.lookup_method(cls, "__init__")
+            return None
+        cls = self.project.resolve_class(self.module, base)
+        if cls is not None:
+            return self.project.lookup_method(cls, attr)
+        cls = self.local_types.get(base)
+        if cls is not None:
+            return self.project.lookup_method(cls, attr)
+        return None
+
+    def _resolve_name(self, name):
+        info = self.module.functions.get(name)
+        if info is not None:
+            return info
+        cls = self.project.resolve_class(self.module, name)
+        if cls is not None:
+            return self.project.lookup_method(cls, "__init__")
+        binding = self.module.bindings.get(name)
+        if binding is not None and binding[0] == "member":
+            target = self.project.modules.get(binding[1])
+            if target is not None:
+                return target.functions.get(binding[2])
+        return None

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 
+from repro.analysis.arch.rules import ARCH_RULE_NAMES
 from repro.analysis.flow import PRIXRACE_RULES
 
 
@@ -37,13 +38,14 @@ def render_json(result):
 
     ``rule_counts`` tallies every rule that fired (new and
     grandfathered findings both count -- the number answers "how much
-    of this pattern exists", not "how much is new").  The prixrace
-    rules are always present, zero included, so the CI lint artifact
-    shows the concurrency checks ran even on a clean tree.
+    of this pattern exists", not "how much is new").  The prixrace and
+    prixarch rules are always present, zero included, so the CI lint
+    artifact shows the concurrency and architecture checks ran even on
+    a clean tree.
     """
     counts = Counter(f.rule for f in result.findings)
     counts.update(f.rule for f in result.grandfathered)
-    for rule in PRIXRACE_RULES:
+    for rule in PRIXRACE_RULES + ARCH_RULE_NAMES:
         counts.setdefault(rule, 0)
     document = {
         "files_checked": result.files_checked,

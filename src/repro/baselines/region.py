@@ -78,12 +78,12 @@ class DiskStream:
         self._pool = pool
         self._page_ids = page_ids
         self.count = count
-        self._per_page = (pool._pager.page_size - _COUNT.size) // _ENTRY.size
+        self._per_page = (pool.page_size - _COUNT.size) // _ENTRY.size
 
     @classmethod
     def write(cls, pool, entries):
         """Write ``entries`` into fresh pages; return the stream."""
-        page_size = pool._pager.page_size
+        page_size = pool.page_size
         per_page = (page_size - _COUNT.size) // _ENTRY.size
         page_ids = []
         for offset in range(0, len(entries), per_page):

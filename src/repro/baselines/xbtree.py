@@ -38,7 +38,7 @@ class XBTree:
     @classmethod
     def build(cls, pool, elements):
         """Bulk-build from elements sorted by ``start``."""
-        page_size = pool._pager.page_size
+        page_size = pool.page_size
         leaf_cap = (page_size - _HEADER.size) // _LEAF_ENTRY.size
         inner_cap = (page_size - _HEADER.size) // _INNER_ENTRY.size
 

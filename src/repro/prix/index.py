@@ -31,12 +31,13 @@ from repro.prufer.reconstruct import reconstruct_document
 from repro.prufer.maxgap import MaxGapTable, position_gaps
 from repro.prufer.sequence import extended_sequence, regular_sequence
 from repro.query.xpath import parse_xpath
+from repro.storage.backend import (DEFAULT_PAGE_SIZE, DEFAULT_POOL_PAGES,
+                                   SYNC_COMMIT, backend_from_files,
+                                   create_backend, open_backend,
+                                   recover_backend, recover_files)
 from repro.storage.bptree import BPlusTree
-from repro.storage.buffer_pool import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.codec import decode_varints, encode_varints
-from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
-from repro.storage.wal import SYNC_COMMIT, WriteAheadLog
 from repro.trie.labeling import BulkDFSLabeler, DynamicLabeler
 from repro.trie.trie import SequenceTrie
 
@@ -63,6 +64,7 @@ class IndexOptions:
     guard: bool = False            # per-page checksums + read-repair
     guard_path: str | None = None  # default: f"{path}.sum"
     file_factory: object = None    # testing hook: kind -> file object
+    backend: str = "file"          # storage substrate: "file" or "arena"
 
 
 @dataclass
@@ -153,19 +155,7 @@ class PrixIndex:
         if len(set(doc_ids)) != len(doc_ids):
             raise ValueError("document ids must be unique")
 
-        guard = cls._open_guard(options) if options.guard else None
-        if options.file_factory is not None:
-            pager = Pager(options.file_factory("data"),
-                          page_size=options.page_size, guard=guard)
-        elif options.path is None:
-            pager = Pager.in_memory(page_size=options.page_size,
-                                    guard=guard)
-        else:
-            pager = Pager.open(options.path, page_size=options.page_size,
-                               guard=guard)
-        pool = BufferPool(pager, capacity=options.pool_pages)
-        if options.durable:
-            pool.attach_wal(cls._open_wal(options, pager))
+        pool = create_backend(options)
         superblock_id, _ = pool.new_page()   # reserved: page 0
         assert superblock_id == 0
         records = RecordStore(pool)
@@ -185,38 +175,6 @@ class PrixIndex:
             # torn middle.
             index.save()
         return index
-
-    @staticmethod
-    def _open_guard(options):
-        """Open the checksum sidecar named by ``options``."""
-        from repro.storage.guard import PageGuard
-        if options.file_factory is not None:
-            return PageGuard(options.file_factory("guard"),
-                             options.page_size)
-        if options.path is None:
-            return PageGuard.in_memory(options.page_size)
-        guard_path = options.guard_path
-        if guard_path is None:
-            guard_path = options.path + ".sum"
-        return PageGuard.open(guard_path, options.page_size)
-
-    @staticmethod
-    def _open_wal(options, pager):
-        """Open the write-ahead log named by ``options``."""
-        if options.file_factory is not None:
-            return WriteAheadLog(options.file_factory("wal"),
-                                 options.page_size, stats=pager.stats,
-                                 sync_policy=options.wal_sync)
-        wal_path = options.wal_path
-        if wal_path is None:
-            if options.path is None:
-                raise ValueError(
-                    "durable=True needs a path (or a file_factory) for "
-                    "the write-ahead log")
-            wal_path = options.path + ".wal"
-        return WriteAheadLog.open(wal_path, options.page_size,
-                                  stats=pager.stats,
-                                  sync_policy=options.wal_sync)
 
     # ------------------------------------------------------------------
     # Incremental maintenance
@@ -430,16 +388,17 @@ class PrixIndex:
             }
         blob = json.dumps(meta).encode("utf-8")
         rid = self._records.append(blob)
-        frame = bytearray(self._pool._pager.page_size)
+        frame = bytearray(self._pool.page_size)
         _SUPERBLOCK.pack_into(frame, 0, _SUPER_MAGIC, rid[0], rid[1],
-                              rid[2], self._pool._pager.page_size)
+                              rid[2], self._pool.page_size)
         self._pool.put(0, frame)
         self._pool.flush()
-        self._pool._pager.sync()
+        self._pool.sync()
 
     @classmethod
     def open(cls, path, pool_pages=None, durable=None, wal_path=None,
-             wal_sync=SYNC_COMMIT, guard=None, guard_path=None):
+             wal_sync=SYNC_COMMIT, guard=None, guard_path=None,
+             backend="file"):
         """Reattach to an index previously built with a ``path`` and
         :meth:`save`\\ d.
 
@@ -455,6 +414,13 @@ class PrixIndex:
         (``{path}.sum`` by default, or ``guard_path``): ``None``
         auto-detects an existing sidecar, ``True`` opens (creating if
         needed) one, ``False`` reads unverified.
+
+        ``backend`` selects the substrate: ``"file"`` (writable, the
+        default) or ``"mmap"`` (read-only serving).  Recovery still
+        runs for a torn mmap open -- it is a pre-open pass over the
+        path -- but the log is not reattached; every mutation on the
+        served index raises
+        :class:`~repro.storage.errors.ReadOnlyBackendError`.
         """
         if wal_path is None:
             wal_path = path + ".wal"
@@ -465,28 +431,20 @@ class PrixIndex:
         if guard is None:
             guard = os.path.exists(guard_path)
         if durable:
-            from repro.storage.recovery import recover_path
-            recover_path(path, wal_path, guard_path=guard_path)
+            recover_backend(path, wal_path, guard_path=guard_path)
         # Sanctioned raw read: the superblock must be sniffed before a
-        # Pager exists (it stores the page size the Pager needs), and
-        # these bytes are re-read through the pool right below, so no
-        # counted page access is bypassed.
+        # backend exists (it stores the page size the backend needs),
+        # and these bytes are re-read through the pool right below, so
+        # no counted page access is bypassed.
         with open(path, "rb") as handle:  # prixlint: disable=no-raw-io
             header = handle.read(_SUPERBLOCK.size)
         page, offset, length, stored_page_size = \
             cls._parse_superblock(header, path)
-        page_guard = None
-        if guard:
-            from repro.storage.guard import PageGuard
-            page_guard = PageGuard.open(guard_path, stored_page_size)
-        pager = Pager.open(path, page_size=stored_page_size,
-                           guard=page_guard)
-        pool = BufferPool(pager, capacity=pool_pages
-                          or DEFAULT_POOL_PAGES)
-        if durable:
-            pool.attach_wal(WriteAheadLog.open(
-                wal_path, stored_page_size, stats=pager.stats,
-                sync_policy=wal_sync))
+        pool = open_backend(path, stored_page_size, pool_pages=pool_pages,
+                            kind=backend,
+                            durable=durable and backend == "file",
+                            wal_path=wal_path, wal_sync=wal_sync,
+                            guard=guard, guard_path=guard_path)
         return cls._attach(pool, page, offset, length)
 
     @classmethod
@@ -503,39 +461,20 @@ class PrixIndex:
         corruption-matrix harness reopens the sidecar that survived the
         simulated fault alongside the data image).
         """
-        guard = None
-        if guard_file is not None:
-            from repro.storage.guard import PageGuard
-        wal = None
+        wal = guard = None
         if wal_file is not None:
-            from repro.storage.recovery import recover
-            from repro.storage.wal import _HEADER
-            wal_file.seek(0)
-            header = WriteAheadLog._parse_header(
-                wal_file.read(_HEADER.size))
-            if header is not None:
-                wal = WriteAheadLog(wal_file, header[1],
-                                    sync_policy=wal_sync)
-                if guard_file is not None:
-                    guard = PageGuard(guard_file, header[1])
-                recover(data_file, wal, guard=guard)
+            wal, guard = recover_files(data_file, wal_file,
+                                       guard_file=guard_file,
+                                       wal_sync=wal_sync)
         data_file.seek(0)
         header = data_file.read(_SUPERBLOCK.size)
         page, offset, length, stored_page_size = \
             cls._parse_superblock(header, "data file")
-        if guard_file is not None and guard is None:
-            guard = PageGuard(guard_file, stored_page_size)
-        pager = Pager(data_file, page_size=stored_page_size, guard=guard)
-        pool = BufferPool(pager, capacity=pool_pages
-                          or DEFAULT_POOL_PAGES)
-        if wal is None and wal_file is not None:
-            # Crash before the log header became durable: start a fresh
-            # generation so the reopened index can keep logging.
-            wal = WriteAheadLog(wal_file, stored_page_size,
-                                sync_policy=wal_sync)
-        if wal is not None:
-            wal.stats = pager.stats
-            pool.attach_wal(wal)
+        pool = backend_from_files(data_file, stored_page_size,
+                                  pool_pages=pool_pages, wal=wal,
+                                  wal_file=wal_file, guard=guard,
+                                  guard_file=guard_file,
+                                  wal_sync=wal_sync)
         return cls._attach(pool, page, offset, length)
 
     @staticmethod
@@ -586,16 +525,15 @@ class PrixIndex:
                    list(meta["doc_ids"]))
 
     def close(self):
-        """Flush and close the backing file (and the log, if any)."""
-        self._pool.flush()
-        wal = self._pool.wal
-        if wal is not None:
-            # flush() committed and ordered the log ahead of the data
-            # pages; fsync the data file too so closing is a durability
-            # point, then release the log handle.
-            self._pool._pager.sync()
-            wal.close()
-        self._pool._pager.close()
+        """Flush and close the backing storage stack (pool, log, file).
+
+        Delegates to :meth:`StorageBackend.close
+        <repro.storage.backend.StorageBackend.close>`, which commits
+        and orders the log ahead of the data pages, fsyncs the data
+        file (closing is a durability point), and releases every
+        handle.
+        """
+        self._pool.close()
 
     def __enter__(self):
         return self

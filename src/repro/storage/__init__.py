@@ -13,6 +13,14 @@ and deterministic fault injection (:class:`FaultSchedule` /
 :class:`FaultyFile`) for the crash-matrix tests.  WAL traffic is counted
 in its own ``IOStats`` fields, so the paper tables are unaffected.
 
+The public door into the stack is :mod:`repro.storage.backend`
+(``docs/ARCHITECTURE.md``): a :class:`StorageBackend` protocol with
+three implementations -- :class:`FilePagerBackend` (production file
+stack), :class:`InMemoryArenaBackend` (tests/benchmarks over process
+memory) and the read-only :class:`MmapBackend` (serving).  The logical
+index layers import storage only through that seam; the ``prixarch``
+lint tier enforces the boundary statically.
+
 Corruption safety sits beside it (``docs/ROBUSTNESS.md``): a
 :class:`PageGuard` checksums every page on write-back and verifies on
 read, repairing from the WAL's committed images or quarantining with a
@@ -23,6 +31,11 @@ under.  Guard traffic, like WAL traffic, never touches the page
 counters.
 """
 
+from repro.storage.arena import ArenaPager
+from repro.storage.backend import (FilePagerBackend, InMemoryArenaBackend,
+                                   MmapBackend, StorageBackend,
+                                   backend_from_files, create_backend,
+                                   open_backend, recover_backend)
 from repro.storage.bptree import BPlusTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.codec import (decode_key, encode_int, encode_key,
@@ -30,13 +43,15 @@ from repro.storage.codec import (decode_key, encode_int, encode_key,
 from repro.storage.errors import (BufferPoolExhaustedError, CorruptionError,
                                   PageCorruptionError, PageOverflowError,
                                   PageRangeError, PageSizeError,
-                                  PinProtocolError, StorageError,
-                                  SuperblockError, WalCorruptionError,
-                                  WalError, WalProtocolError)
+                                  PinProtocolError, ReadOnlyBackendError,
+                                  StorageError, SuperblockError,
+                                  WalCorruptionError, WalError,
+                                  WalProtocolError)
 from repro.storage.faults import (CrashPoint, FaultSchedule, FaultyFile,
                                   corruption_plan, inject_corruption)
 from repro.storage.guard import (PageGuard, ScrubReport, scrub, scrub_path,
                                  wal_repair_source)
+from repro.storage.mmapio import MmapPager
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
 from repro.storage.recovery import (RecoveryResult, recover, recover_path,
@@ -46,6 +61,7 @@ from repro.storage.wal import (SYNC_ALWAYS, SYNC_COMMIT, SYNC_NEVER,
                                WriteAheadLog)
 
 __all__ = [
+    "ArenaPager",
     "BPlusTree",
     "BufferPool",
     "BufferPoolExhaustedError",
@@ -54,7 +70,11 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "FaultSchedule",
     "FaultyFile",
+    "FilePagerBackend",
     "IOStats",
+    "InMemoryArenaBackend",
+    "MmapBackend",
+    "MmapPager",
     "PageCorruptionError",
     "PageGuard",
     "PageOverflowError",
@@ -62,26 +82,32 @@ __all__ = [
     "PageSizeError",
     "Pager",
     "PinProtocolError",
+    "ReadOnlyBackendError",
     "RecordStore",
     "RecoveryResult",
     "SYNC_ALWAYS",
     "SYNC_COMMIT",
     "SYNC_NEVER",
     "ScrubReport",
+    "StorageBackend",
     "StorageError",
     "SuperblockError",
     "WalCorruptionError",
     "WalError",
     "WalProtocolError",
     "WriteAheadLog",
+    "backend_from_files",
     "corruption_plan",
+    "create_backend",
     "decode_key",
     "encode_int",
     "encode_key",
     "encode_str",
     "inject_corruption",
+    "open_backend",
     "page_checksum",
     "recover",
+    "recover_backend",
     "recover_path",
     "scan_committed",
     "scrub",

@@ -142,7 +142,7 @@ class BPlusTree:
 
     def __init__(self, pool, meta_page_id):
         self._pool = pool
-        self._page_size = pool._pager.page_size
+        self._page_size = pool.page_size
         self._meta_page_id = meta_page_id
         frame = pool.get(meta_page_id)
         magic, root, height, count = _META.unpack_from(frame, 0)
@@ -158,7 +158,7 @@ class BPlusTree:
         meta_id, _ = pool.new_page()
         root_id, _ = pool.new_page()
         root = _Node(root_id, is_leaf=True)
-        pool.put(root_id, _serialize_node(root, pool._pager.page_size))
+        pool.put(root_id, _serialize_node(root, pool.page_size))
         cls._write_meta(pool, meta_id, root_id, 1, 0)
         return cls(pool, meta_id)
 
@@ -169,7 +169,7 @@ class BPlusTree:
 
     @staticmethod
     def _write_meta(pool, meta_id, root_id, height, count):
-        frame = bytearray(pool._pager.page_size)
+        frame = bytearray(pool.page_size)
         _META.pack_into(frame, 0, _MAGIC, root_id, height, count)
         pool.put(meta_id, frame)
 
@@ -369,7 +369,7 @@ class BPlusTree:
         """
         if not 0.1 <= fill_factor <= 1.0:
             raise ValueError("fill_factor must be in [0.1, 1.0]")
-        page_size = pool._pager.page_size
+        page_size = pool.page_size
         budget = int(page_size * fill_factor)
         meta_id, _ = pool.new_page()
 

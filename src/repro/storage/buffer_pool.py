@@ -78,6 +78,21 @@ class BufferPool:
         """Maximum resident frames."""
         return self._capacity
 
+    @property
+    def page_size(self):
+        """Size in bytes of every page image this pool serves.
+
+        Part of the :class:`~repro.storage.backend.StorageBackend`
+        surface: callers above the storage-api layer must not reach
+        through ``_pager`` for it.
+        """
+        return self._pager.page_size
+
+    @property
+    def guard(self):
+        """The substrate's checksum guard, or None (unverified reads)."""
+        return self._pager.guard
+
     # ------------------------------------------------------------------
     # Write-ahead logging
     # ------------------------------------------------------------------

@@ -88,6 +88,16 @@ class BufferPoolExhaustedError(StorageError):
     """
 
 
+class ReadOnlyBackendError(StorageError):
+    """A mutation reached a read-only storage backend.
+
+    The mmap serving backend maps the index file for concurrent readers
+    and cannot accept writes, allocations, or a write-ahead log; raising
+    a typed error at the first mutating call keeps the failure at the
+    call site instead of surfacing later as a torn flush.
+    """
+
+
 class CorruptionError(StorageError):
     """Base class for at-rest corruption detected by the checksum guard.
 

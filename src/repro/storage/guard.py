@@ -394,7 +394,11 @@ def scrub_path(path, wal_path=None, guard_path=None, stamp_missing=False):
     Returns a :class:`ScrubReport` whose catalog fields record whether
     the superblock and metadata record still parse.
     """
-    from repro.prix import index as prix_index
+    # Deliberate layering inversion, lazily bound: the scrub report
+    # validates the PRIX superblock/catalog, which only the logical
+    # layer can parse.  Kept function-local so importing the storage
+    # package never drags the index code in.
+    from repro.prix import index as prix_index  # prixlint: disable=layering
     from repro.storage.buffer_pool import BufferPool
     from repro.storage.pager import Pager
     from repro.storage.records import RecordStore

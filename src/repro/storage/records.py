@@ -21,7 +21,7 @@ class RecordStore:
 
     def __init__(self, pool):
         self._pool = pool
-        self._page_size = pool._pager.page_size
+        self._page_size = pool.page_size
         self._current_page = None
         self._current_offset = 0
 

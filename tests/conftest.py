@@ -11,7 +11,40 @@ sys.path.insert(0, os.path.dirname(__file__))
 from repro.datasets import (dblp, figure1_documents, figure2_document,
                             swissprot, treebank)
 from repro.prix.index import PrixIndex
+from repro.storage.backend import (DEFAULT_PAGE_SIZE, FilePagerBackend,
+                                   InMemoryArenaBackend)
 from repro.xmlkit.tree import Document, XMLNode
+
+
+@pytest.fixture(params=["file", "arena"])
+def make_backend(request, tmp_path):
+    """Factory for the parametrized StorageBackend kinds.
+
+    Storage tests taking this fixture run twice -- once over the
+    production :class:`FilePagerBackend`, once over the in-memory
+    :class:`InMemoryArenaBackend` -- asserting the substrates are
+    observationally identical: same page contents, same ``IOStats``
+    movements, same typed errors.  The fixture owns every backend it
+    hands out and closes them at teardown; ``factory.kind`` exposes
+    which substrate the current parametrization runs on.
+    """
+    opened = []
+
+    def factory(page_size=DEFAULT_PAGE_SIZE, pool_pages=8, guard=None):
+        if request.param == "file":
+            backend = FilePagerBackend.open(
+                str(tmp_path / f"backend{len(opened)}.db"),
+                page_size=page_size, pool_pages=pool_pages, guard=guard)
+        else:
+            backend = InMemoryArenaBackend(
+                page_size=page_size, pool_pages=pool_pages, guard=guard)
+        opened.append(backend)
+        return backend
+
+    factory.kind = request.param
+    yield factory
+    for backend in opened:
+        backend.close()
 
 
 @pytest.fixture(scope="session")

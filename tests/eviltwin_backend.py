@@ -1,0 +1,52 @@
+"""A deliberately non-conformant StorageBackend: prixarch's crash dummy.
+
+``EvilTwinBackend`` seeds exactly four defects the architecture tier
+must catch (``tests/test_analysis_arch.py`` asserts the precise
+findings, and the repository baseline grandfathers them so full-tree
+lint stays green):
+
+* ``_sneak_peek`` declares a pure effect contract but does raw file
+  I/O -- an ``effect-contract`` finding;
+* ``mark_dirty`` smuggles WAL traffic into a method whose Protocol
+  bound is only ``latch-acquire`` -- a ``backend-conformance`` effect
+  finding;
+* ``put`` drops the ``page_id`` parameter -- a ``backend-conformance``
+  signature finding;
+* ``new_page`` raises a bare ``RuntimeError`` instead of a typed
+  storage error -- a ``backend-conformance`` vocabulary finding.
+
+The import of :mod:`repro.storage.pager` is the layering bait: under
+the repository manifest this test module is unlayered, but the arch
+test maps it into the logical layer with a test-local manifest and
+asserts the witness chain.
+"""
+
+from repro.storage.backend import InMemoryArenaBackend
+from repro.storage.pager import DEFAULT_PAGE_SIZE
+
+
+class EvilTwinBackend(InMemoryArenaBackend):  # priximpl: StorageBackend
+    """Inherits a conformant backend, then breaks it in four ways."""
+
+    kind = "evil"
+
+    def __init__(self, page_size=DEFAULT_PAGE_SIZE, pool_pages=None):
+        super().__init__(page_size=page_size, pool_pages=pool_pages)
+
+    def _sneak_peek(self):  # prixeffect: declares=
+        """Claims purity, reads a file: inferred raw-io breaks the bound."""
+        with open(__file__, "rb") as handle:
+            return handle.read(16)
+
+    def mark_dirty(self, page_id):
+        """Protocol bound is latch-acquire only; the WAL call exceeds it."""
+        self._wal.log_page(page_id, b"")
+        return super().mark_dirty(page_id)
+
+    def put(self, data):
+        """Protocol signature is (self, page_id, data)."""
+        return super().put(0, data)
+
+    def new_page(self):
+        """Raises outside the typed storage-error vocabulary."""
+        raise RuntimeError("evil twin refuses to allocate")

@@ -174,7 +174,7 @@ class TestRunner:
         assert main([str(dirty), "--rules", "seeded-rng"]) == 0
         assert main([str(dirty), "--rules", "no-such-rule"]) == 2
 
-    def test_list_rules_names_all_fourteen(self, capsys):
+    def test_list_rules_names_all_seventeen(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         for name in ("no-raw-io", "seeded-rng", "stats-int-discipline",
@@ -183,9 +183,10 @@ class TestRunner:
                      "dirty-page-escape", "stats-read-before-flush",
                      "close-on-all-paths", "guarded-field-access",
                      "lock-order", "no-blocking-io-under-latch",
-                     "release-on-all-paths"):
+                     "release-on-all-paths", "layering",
+                     "effect-contract", "backend-conformance"):
             assert name in out
-        assert len(rules_by_name()) == 14
+        assert len(rules_by_name()) == 17
 
     def test_write_baseline_flag(self, tmp_path, capsys):
         dirty = self.write_dirty_tree(tmp_path)

@@ -1,0 +1,208 @@
+"""StorageBackend seam tests: substrate parity, dispatch, read-only mmap.
+
+The PR 7 acceptance bar: the paper's "Disk IO pages" accounting and the
+query results must be byte-identical whether an index runs over the
+production file pager or the in-memory arena, and the mmap serving
+backend must answer identically while refusing every mutation with the
+typed :class:`ReadOnlyBackendError`.
+"""
+
+import pytest
+
+from repro.datasets import dblp
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.storage.backend import (FilePagerBackend, InMemoryArenaBackend,
+                                   MmapBackend, create_backend,
+                                   open_backend)
+from repro.storage.errors import ReadOnlyBackendError
+from repro.storage.mmapio import MmapPager
+from repro.xmlkit.tree import Document
+
+QUERIES = ['//inproceedings[./author="Jim Gray"][./year="1990"]',
+           "//www[./editor]/url",
+           "//inproceedings/author",
+           "//article[./volume]/year"]
+
+#: Small pool so the workload actually evicts and re-reads pages.
+TIGHT_POOL = 16
+
+#: Every IOStats counter, compared wholesale across substrates.
+COUNTERS = ("physical_reads", "physical_writes", "logical_reads",
+            "evictions", "allocations", "wal_appends", "wal_fsyncs",
+            "wal_bytes", "guard_verifications", "guard_repairs",
+            "guard_quarantines")
+
+
+def _build(backend_kind):
+    corpus = dblp(120)
+    options = IndexOptions(backend=backend_kind, pool_pages=TIGHT_POOL)
+    return PrixIndex.build(corpus.documents, options)
+
+
+def _counters(index):
+    stats = index.io_stats
+    return {name: stats.read(name) for name in COUNTERS}
+
+
+def _run_queries(index):
+    """(result sets, per-query physical read deltas) for the workload."""
+    results, reads = [], []
+    for xpath in QUERIES:
+        matches, stats = index.query_with_stats(xpath, cold=True)
+        results.append({(m.doc_id, m.canonical) for m in matches})
+        reads.append(stats.physical_reads)
+    return results, reads
+
+
+class TestSubstrateParity:
+    def test_disk_io_and_results_identical_file_vs_arena(self):
+        """The acceptance bar: byte-identical accounting across substrates."""
+        file_index = _build("file")
+        arena_index = _build("arena")
+        try:
+            file_results, file_reads = _run_queries(file_index)
+            arena_results, arena_reads = _run_queries(arena_index)
+            assert file_results == arena_results
+            assert file_reads == arena_reads
+            assert _counters(file_index) == _counters(arena_index)
+        finally:
+            file_index.close()
+            arena_index.close()
+
+    def test_build_stats_identical(self):
+        file_index = _build("file")
+        arena_index = _build("arena")
+        try:
+            file_stats = _counters(file_index)
+            arena_stats = _counters(arena_index)
+            assert file_stats == arena_stats
+            assert file_stats["allocations"] > 0
+        finally:
+            file_index.close()
+            arena_index.close()
+
+
+class TestBackendDispatch:
+    def test_create_backend_kinds(self):
+        file_backend = create_backend(IndexOptions(backend="file"))
+        arena_backend = create_backend(IndexOptions(backend="arena"))
+        try:
+            assert isinstance(file_backend, FilePagerBackend)
+            assert file_backend.kind == "file"
+            assert isinstance(arena_backend, InMemoryArenaBackend)
+            assert arena_backend.kind == "arena"
+        finally:
+            file_backend.close()
+            arena_backend.close()
+
+    def test_create_backend_rejects_mmap_for_builds(self):
+        with pytest.raises(ReadOnlyBackendError):
+            create_backend(IndexOptions(backend="mmap"))
+
+    def test_create_backend_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            create_backend(IndexOptions(backend="carrier-pigeon"))
+
+    def test_open_backend_mmap_kind(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        backend = FilePagerBackend.open(path, page_size=64)
+        pid, _ = backend.new_page()
+        backend.put(pid, b"\x42" * 64)
+        backend.close()
+        served = open_backend(path, 64, kind="mmap")
+        try:
+            assert isinstance(served, MmapBackend)
+            assert served.kind == "mmap"
+            assert bytes(served.get(pid)) == b"\x42" * 64
+        finally:
+            served.close()
+
+
+class TestMmapReadOnly:
+    @pytest.fixture()
+    def served(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        writer = FilePagerBackend.open(path, page_size=64)
+        for fill in (b"\x01", b"\x02", b"\x03"):
+            pid, _ = writer.new_page()
+            writer.put(pid, fill * 64)
+        writer.close()
+        backend = MmapBackend(path, page_size=64, pool_pages=2)
+        yield backend
+        backend.close()
+
+    def test_reads_serve_mapped_bytes(self, served):
+        assert bytes(served.get(0)) == b"\x01" * 64
+        assert bytes(served.get(2)) == b"\x03" * 64
+        assert served.num_pages == 3
+
+    def test_reads_are_counted(self, served):
+        served.flush_and_clear()
+        served.get(0)
+        served.get(0)
+        assert served.stats.physical_reads == 1
+        assert served.stats.logical_reads == 2
+
+    def test_every_mutator_raises_typed_error(self, served):
+        with pytest.raises(ReadOnlyBackendError):
+            served.put(0, b"\x00" * 64)
+        with pytest.raises(ReadOnlyBackendError):
+            served.new_page()
+        with pytest.raises(ReadOnlyBackendError):
+            served.mark_dirty(0)
+        with pytest.raises(ReadOnlyBackendError):
+            served.attach_wal(object())
+
+    def test_rejected_mutation_leaves_page_intact(self, served):
+        with pytest.raises(ReadOnlyBackendError):
+            served.put(1, b"\xff" * 64)
+        assert bytes(served.get(1)) == b"\x02" * 64
+
+    def test_pager_rejects_misaligned_file(self, tmp_path):
+        path = tmp_path / "ragged.db"
+        path.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError):
+            MmapPager(str(path), page_size=64)
+
+    def test_empty_file_has_no_pages(self, tmp_path):
+        path = tmp_path / "empty.db"
+        path.write_bytes(b"")
+        pager = MmapPager(str(path), page_size=64)
+        assert pager.num_pages == 0
+        pager.close()
+
+
+class TestMmapServing:
+    def test_mmap_index_answers_identically(self, tmp_path):
+        corpus = dblp(120)
+        path = str(tmp_path / "prix.idx")
+        built = PrixIndex.build(corpus.documents, IndexOptions(path=path))
+        want = {}
+        for xpath in QUERIES:
+            want[xpath] = {(m.doc_id, m.canonical)
+                           for m in built.query(xpath)}
+        built.save()
+        built.close()
+        served = PrixIndex.open(path, backend="mmap")
+        try:
+            assert isinstance(served._pool, MmapBackend)
+            for xpath, expected in want.items():
+                got = {(m.doc_id, m.canonical)
+                       for m in served.query(xpath)}
+                assert got == expected, xpath
+        finally:
+            served.close()
+
+    def test_mmap_index_refuses_inserts(self, tmp_path, fig2_doc):
+        corpus = dblp(40)
+        path = str(tmp_path / "prix.idx")
+        built = PrixIndex.build(corpus.documents, IndexOptions(path=path))
+        built.save()
+        built.close()
+        served = PrixIndex.open(path, backend="mmap")
+        fresh = Document(fig2_doc.root, doc_id=10_000)
+        try:
+            with pytest.raises(ReadOnlyBackendError):
+                served.insert_document(fresh)
+        finally:
+            served.close()
