@@ -99,6 +99,29 @@ class SanitizeError(AssertionError):
 #: Classes whose ``_GUARDED`` maps get descriptor enforcement.
 _GUARDED_CLASSES = (BufferPool, Pager, IOStats)
 
+#: Additional ``_GUARDED`` classes registered at import time by layers
+#: the sanitizer must not import itself (the serving tier lives *above*
+#: the storage stack; importing it from here would invert the layer
+#: map).  See :func:`register_guarded_class`.
+_extra_guarded = []
+
+
+def register_guarded_class(cls):
+    """Opt a class's ``_GUARDED`` map into guarded-field enforcement.
+
+    Called at import time by modules outside the storage layer (e.g.
+    ``repro.serve.registry``'s mount table, ``repro.serve.metrics``'s
+    counters) so their latched fields get the same data-race descriptors
+    as BufferPool/Pager/IOStats.  Idempotent; if the sanitizer is
+    already enabled the descriptors are installed immediately, otherwise
+    they arrive with the next :func:`enable`.
+    """
+    if cls in _GUARDED_CLASSES or cls in _extra_guarded:
+        return
+    _extra_guarded.append(cls)
+    if _saved:
+        _install_class_descriptors(cls)
+
 #: Original (unwrapped) methods; non-empty exactly while enabled.
 _saved = {}
 
@@ -217,14 +240,19 @@ class _GuardedField:
             "race -- take the latch")
 
 
+def _install_class_descriptors(cls):
+    for field, latch_attr in cls._GUARDED.items():
+        if (cls, field) in _saved_attrs:
+            continue
+        original = cls.__dict__.get(field, _MISSING)
+        _saved_attrs[(cls, field)] = original
+        setattr(cls, field,
+                _GuardedField(cls.__name__, field, latch_attr, original))
+
+
 def _install_descriptors():
-    for cls in _GUARDED_CLASSES:
-        for field, latch_attr in cls._GUARDED.items():
-            original = cls.__dict__.get(field, _MISSING)
-            _saved_attrs[(cls, field)] = original
-            setattr(cls, field,
-                    _GuardedField(cls.__name__, field, latch_attr,
-                                  original))
+    for cls in _GUARDED_CLASSES + tuple(_extra_guarded):
+        _install_class_descriptors(cls)
 
 
 def _remove_descriptors():

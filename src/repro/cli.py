@@ -20,18 +20,17 @@ import argparse
 import sys
 
 from repro.datasets import get_corpus, list_corpora
+# Exit codes: 1 = generic failure, 2 = usage error or missing file,
+# 3 = corruption or recovery failure.  Scripts (and the CI smoke
+# steps) branch on these, so they are part of the CLI's contract; the
+# numbers live in repro.exitcodes because the serving protocol embeds
+# the same vocabulary in its typed error responses.
+from repro.exitcodes import EXIT_CORRUPTION, EXIT_ERROR, EXIT_USAGE
 from repro.prix.budget import BudgetExceededError, QueryBudget
 from repro.prix.index import IndexOptions, PrixIndex
 from repro.query.xpath import parse_xpath
 from repro.storage.errors import CorruptionError, StorageError, WalError
 from repro.xmlkit.parser import parse_document, split_documents
-
-#: Exit codes: 1 = generic failure, 2 = usage error or missing file,
-#: 3 = corruption or recovery failure.  Scripts (and the CI smoke
-#: steps) branch on these, so they are part of the CLI's contract.
-EXIT_ERROR = 1
-EXIT_USAGE = 2
-EXIT_CORRUPTION = 3
 
 
 def _cmd_build(args):
@@ -88,7 +87,7 @@ def _make_budget(args):
 
 
 def _cmd_query(args):
-    index = PrixIndex.open(args.index)
+    index = PrixIndex.open(args.index, backend=args.backend)
     try:
         pattern = parse_xpath(args.xpath)
         matches, stats = index.query_with_stats(
@@ -220,7 +219,12 @@ def _cmd_scrub(args):
     from repro.storage.guard import scrub_path
     report = scrub_path(args.index, wal_path=args.wal,
                         stamp_missing=args.stamp)
-    print(report.render())
+    if args.json:
+        # The canonical serialization -- byte-identical to what the
+        # serving tier's /healthz endpoint caches (docs/SERVING.md).
+        print(report.to_json(indent=2))
+    else:
+        print(report.render())
     return 0 if report.healthy else EXIT_CORRUPTION
 
 
@@ -229,8 +233,13 @@ def _cmd_lint(args):
     return run_lint(args)
 
 
+def _cmd_serve(args):
+    from repro.serve.server import run
+    return run(args)
+
+
 def _cmd_stats(args):
-    index = PrixIndex.open(args.index)
+    index = PrixIndex.open(args.index, backend=args.backend)
     try:
         print(f"documents: {index.doc_count}")
         for variant in index.variants():
@@ -307,6 +316,12 @@ def make_parser():
                             "approximate result")
     query.add_argument("--budget-ms", type=float, default=None,
                        metavar="MS", help="wall-clock deadline in ms")
+    query.add_argument("--backend", choices=["file", "mmap", "arena"],
+                       default="file",
+                       help="storage backend to open the index with: "
+                            "'file' (writable pager), 'mmap' (read-only "
+                            "shared pages) or 'arena' (warm in-memory "
+                            "snapshot, no disk I/O after open)")
     query.set_defaults(func=_cmd_query)
 
     insert = commands.add_parser(
@@ -333,7 +348,19 @@ def make_parser():
 
     stats = commands.add_parser("stats", help="summarize a saved index")
     stats.add_argument("index", help="index file")
+    stats.add_argument("--backend", choices=["file", "mmap", "arena"],
+                       default="file",
+                       help="storage backend to open the index with")
     stats.set_defaults(func=_cmd_stats)
+
+    # Function-local import (like lint's below): importing repro.cli as
+    # a library never drags the serving tier in.
+    serve = commands.add_parser(
+        "serve", help="serve twig queries over HTTP from one or more "
+                      "saved indexes (see docs/SERVING.md)")
+    from repro.serve.server import add_serve_arguments
+    add_serve_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     recover = commands.add_parser(
         "recover", help="replay the committed write-ahead-log tail into "
@@ -362,6 +389,10 @@ def make_parser():
     scrub.add_argument("--stamp", action="store_true",
                        help="adopt unstamped pages: checksum their "
                             "current content so later reads are verified")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit the report as JSON (the same "
+                            "serialization the serve tier's /healthz "
+                            "endpoint returns)")
     scrub.set_defaults(func=_cmd_scrub)
 
     from repro.analysis.runner import add_lint_arguments

@@ -1,0 +1,18 @@
+"""Process exit codes shared by every PRIX front end.
+
+One vocabulary, two surfaces: ``prix`` (the CLI, :mod:`repro.cli`)
+returns these as process exit statuses, and ``prix serve`` embeds the
+same numbers as ``exit_code`` in its typed JSON error responses
+(:mod:`repro.serve.protocol`) -- so a script gets the identical failure
+taxonomy whether it shells out or talks HTTP.  Scripts and the CI smoke
+steps branch on these values; they are part of the public contract and
+must not be renumbered.
+"""
+
+#: Generic failure (I/O errors, storage errors, exhausted filter-phase
+#: budgets, ...).
+EXIT_ERROR = 1
+#: Usage error: bad arguments, unparsable query, missing input file.
+EXIT_USAGE = 2
+#: Corruption: checksum failure, unrecoverable WAL, failed recovery.
+EXIT_CORRUPTION = 3

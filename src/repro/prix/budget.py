@@ -99,6 +99,23 @@ class QueryBudget:
                 and self.max_candidates is None
                 and self.deadline_seconds is None)
 
+    def fork(self):
+        """A fresh budget carrying the same limits.
+
+        The serving path's minting operation: one server-wide
+        ``QueryBudget`` (parsed once from flags or config) forks a
+        per-request budget for every admitted query, and each fork's
+        :meth:`meter` starts its own deadline clock and physical-read
+        baseline.  The caps themselves are immutable, so the fork is a
+        constructor call -- no flag re-parsing, no shared meter state
+        between requests.
+        """
+        return QueryBudget(
+            max_range_queries=self.max_range_queries,
+            max_physical_reads=self.max_physical_reads,
+            max_candidates=self.max_candidates,
+            deadline_seconds=self.deadline_seconds)
+
     def meter(self, io_stats=None, clock=time.monotonic):
         """Start enforcement: returns a :class:`BudgetMeter` whose
         deadline and read baseline begin now."""

@@ -416,10 +416,12 @@ class PrixIndex:
         needed) one, ``False`` reads unverified.
 
         ``backend`` selects the substrate: ``"file"`` (writable, the
-        default) or ``"mmap"`` (read-only serving).  Recovery still
-        runs for a torn mmap open -- it is a pre-open pass over the
-        path -- but the log is not reattached; every mutation on the
-        served index raises
+        default), ``"mmap"`` (read-only serving), or ``"arena"`` (a
+        warm in-memory snapshot of the whole file: no disk I/O after
+        open, mutations die with the process).  Recovery still
+        runs for a torn mmap/arena open -- it is a pre-open pass over
+        the path -- but the log is not reattached; every mutation on an
+        mmap-served index raises
         :class:`~repro.storage.errors.ReadOnlyBackendError`.
         """
         if wal_path is None:

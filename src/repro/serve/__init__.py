@@ -1,0 +1,48 @@
+"""``prix serve``: the concurrent query-serving tier (``docs/SERVING.md``).
+
+A long-lived process answering twig queries over shared **read-only**
+PRIX indexes -- the step that turns the paper's filter-then-refine
+matching into something that can sit behind real traffic (ROADMAP
+item 2).  The subsystem is the repo's *serving* layer: it sits atop the
+logical index layers in ``.prixarch.toml`` and reaches storage only
+through the ``storage-api`` facade, with ``# prixeffect:`` contracts on
+its handlers and ``# prixrace:`` annotations on its shared state.
+
+Modules:
+
+- :mod:`repro.serve.protocol` -- the HTTP/JSON request protocol: typed
+  error responses mirroring the CLI exit-code vocabulary, canonical
+  result serialization (including the ``approximate=True`` degradation
+  contract with its structured
+  :class:`~repro.prix.budget.DegradationReason`).
+- :mod:`repro.serve.admission` -- admission control: a draining flag,
+  an in-flight cap, and per-request
+  :class:`~repro.prix.budget.QueryBudget` quotas forked from one
+  server-wide configuration.
+- :mod:`repro.serve.registry` -- named index mounts over
+  ``PrixIndex.open(backend="mmap")`` (or ``"file"``/``"arena"``), with
+  leases, hot reload-on-generation (atomic swap under the registry
+  latch, old generation drained before close) and a cached
+  ``scrub``-backed health report per generation.
+- :mod:`repro.serve.metrics` -- per-endpoint request/latency/
+  degradation counters behind the ``serve-metrics`` latch.
+- :mod:`repro.serve.server` -- the ``ThreadingHTTPServer`` front end,
+  endpoint dispatch, and graceful drain on SIGTERM.
+- ``python -m repro.serve`` / ``prix serve`` -- the process entry
+  points.
+"""
+
+from repro.serve.admission import AdmissionController, ServerLimits
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import ProtocolError, QueryRequest
+from repro.serve.registry import IndexRegistry, ServeError
+
+__all__ = [
+    "AdmissionController",
+    "IndexRegistry",
+    "ProtocolError",
+    "QueryRequest",
+    "ServeError",
+    "ServerLimits",
+    "ServerMetrics",
+]

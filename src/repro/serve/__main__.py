@@ -1,0 +1,22 @@
+"""``python -m repro.serve`` -- run the query server standalone.
+
+The same entry point ``prix serve`` dispatches to; see
+:mod:`repro.serve.server` and ``docs/SERVING.md``.
+"""
+
+import argparse
+import sys
+
+from repro.serve.server import add_serve_arguments, run
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="serve twig queries over saved PRIX indexes")
+    add_serve_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

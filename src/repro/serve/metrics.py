@@ -1,0 +1,142 @@
+"""Server-side observability: per-endpoint request counters.
+
+:class:`ServerMetrics` is the serving tier's answer sheet for
+``GET /metrics``: per-endpoint request totals, typed-error counts by
+protocol code, degraded (``approximate=True``) answers, admission
+rejections, and latency accumulators -- plus an in-flight gauge fed by
+the admission controller.
+
+Concurrency: one metrics object is shared by every handler thread of a
+:class:`~repro.serve.server.PrixServeServer`, so every counter lives
+behind the object's own ``serve-metrics`` latch, mirroring the
+:class:`~repro.storage.stats.IOStats` discipline.  ``serve-metrics`` is
+a leaf in the latch order -- handlers take it last, for a few dict
+increments, and never call back into the registry or storage while
+holding it (``docs/CONCURRENCY.md``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage import Latch
+
+
+class EndpointMetrics:
+    """Counters for one endpoint (``/query``, ``/healthz``, ...).
+
+    Mutated only by :class:`ServerMetrics` while it holds the parent's
+    ``serve-metrics`` latch; never shared on its own.
+    """
+
+    __slots__ = ("requests", "errors", "degraded", "rejected",
+                 "latency_seconds_total", "latency_seconds_max")
+
+    def __init__(self):
+        self.requests = 0
+        self.errors = {}            # protocol error code -> count
+        self.degraded = 0
+        self.rejected = 0
+        self.latency_seconds_total = 0.0
+        self.latency_seconds_max = 0.0
+
+    def as_dict(self):
+        return {
+            "requests": self.requests,
+            "errors": dict(sorted(self.errors.items())),
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "latency_seconds_total": round(self.latency_seconds_total, 6),
+            "latency_seconds_max": round(self.latency_seconds_max, 6),
+        }
+
+
+class ServerMetrics:
+    """Process-wide serving counters behind one ``serve-metrics`` latch.
+
+    Handlers wrap their work in :meth:`observe`; the admission
+    controller reports its gauge through :meth:`set_inflight`.  The
+    ``/metrics`` endpoint serializes :meth:`snapshot`.
+    """
+
+    def __init__(self):
+        self._latch = Latch("serve-metrics")
+        self._endpoints = {}   # prixrace: guarded-by=_latch
+        self._started = time.time()
+        self._inflight = 0     # prixrace: guarded-by=_latch
+
+    #: Machine-readable twin of the ``guarded-by`` comments above; the
+    #: runtime sanitizer installs guarded-access assertions from this
+    #: mapping once the object is shared between threads.
+    _GUARDED = {"_endpoints": "_latch", "_inflight": "_latch"}
+
+    def _endpoint(self, name):  # prixrace: requires=_latch
+        if name not in self._endpoints:
+            self._endpoints[name] = EndpointMetrics()
+        return self._endpoints[name]
+
+    def observe(self, endpoint, seconds, *,  # prixeffect: declares=latch-acquire
+                error_code=None, degraded=False, rejected=False):
+        """Record one finished request against ``endpoint``.
+
+        ``error_code`` is the typed protocol error code for a failed
+        request (None for success); ``degraded`` marks an HTTP 200 that
+        carried ``approximate=True``; ``rejected`` marks an admission
+        rejection (over-capacity / draining), which is also counted
+        under ``error_code``.
+        """
+        with self._latch:
+            stats = self._endpoint(endpoint)
+            stats.requests += 1
+            stats.latency_seconds_total += seconds
+            if seconds > stats.latency_seconds_max:
+                stats.latency_seconds_max = seconds
+            if error_code is not None:
+                stats.errors[error_code] = (
+                    stats.errors.get(error_code, 0) + 1)
+            if degraded:
+                stats.degraded += 1
+            if rejected:
+                stats.rejected += 1
+
+    def set_inflight(self, value):  # prixeffect: declares=latch-acquire
+        """Update the in-flight gauge (admission controller only)."""
+        with self._latch:
+            self._inflight = value
+
+    def inflight(self):  # prixeffect: declares=latch-acquire
+        """Latched read of the in-flight gauge."""
+        with self._latch:
+            return self._inflight
+
+    def snapshot(self):  # prixeffect: declares=latch-acquire
+        """JSON-ready copy of every counter (the ``/metrics`` body).
+
+        Storage counters are *not* sampled here -- the server merges
+        each mount's :class:`~repro.storage.stats.IOStats` snapshot in,
+        so the latch order stays ``serve-registry`` before ``io-stats``
+        and ``serve-metrics`` stays a leaf.
+        """
+        with self._latch:
+            return {
+                "uptime_seconds": round(time.time() - self._started, 3),
+                "inflight": self._inflight,
+                "endpoints": {name: stats.as_dict()
+                              for name, stats in
+                              sorted(self._endpoints.items())},
+            }
+
+
+def _register_with_sanitizer():
+    """Teach the runtime sanitizer about this module's guarded fields.
+
+    The analysis layer cannot import the serving tier (that would
+    invert the layering), so the serving tier registers itself -- the
+    same sanctioned inversion ``scrub_path`` uses to reach the index
+    layer, marked for reviewers on the import line.
+    """
+    from repro.analysis import sanitizer  # prixlint: disable=layering
+    sanitizer.register_guarded_class(ServerMetrics)
+
+
+_register_with_sanitizer()

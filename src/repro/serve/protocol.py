@@ -1,0 +1,260 @@
+"""The serving protocol: HTTP/JSON requests, typed error responses.
+
+Everything that crosses the wire is defined here, and only here: the
+request schema (:class:`QueryRequest`), the canonical result payloads,
+and the **typed error vocabulary**.  Each error code carries both the
+HTTP status the server answers with and the ``exit_code`` the
+equivalent CLI invocation would return (imported from
+:mod:`repro.exitcodes`, not restated, so the two surfaces cannot
+drift) --
+a script talking to ``prix serve`` can branch on exactly the same
+vocabulary it already uses for ``prix query``.
+
+The degradation contract travels the wire unchanged
+(``docs/ROBUSTNESS.md``): a refinement-phase budget exhaustion comes
+back as HTTP 200 with ``"approximate": true`` and the filter phase's
+candidate documents -- a guaranteed superset of the exact answer, never
+a silent wrong one -- plus the structured
+:class:`~repro.prix.budget.DegradationReason`; a *filter*-phase
+exhaustion is a hard typed rejection (``budget-exhausted``, HTTP 429)
+because no sound superset exists.
+
+Serialization is canonical -- ``sort_keys``, compact separators -- so
+the protocol golden tests can assert responses byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.exitcodes import EXIT_CORRUPTION, EXIT_ERROR, EXIT_USAGE
+from repro.prix.budget import BudgetExceededError
+from repro.storage.errors import (CorruptionError, ReadOnlyBackendError,
+                                  StorageError, WalError)
+
+#: The default mount name queries target when the request names none.
+DEFAULT_INDEX = "default"
+
+#: Error code -> (HTTP status, CLI exit code).  The closed vocabulary of
+#: typed rejections; every error body the server emits names one of
+#: these codes, and the golden tests cover each.
+ERROR_KINDS = {
+    "bad-request": (400, EXIT_USAGE),
+    "not-found": (404, EXIT_USAGE),
+    "method-not-allowed": (405, EXIT_USAGE),
+    "read-only": (403, EXIT_ERROR),
+    "budget-exhausted": (429, EXIT_ERROR),
+    "over-capacity": (503, EXIT_ERROR),
+    "draining": (503, EXIT_ERROR),
+    "corruption": (500, EXIT_CORRUPTION),
+    "internal": (500, EXIT_ERROR),
+}
+
+
+def dumps(payload):
+    """Canonical JSON bytes: sorted keys, compact separators.
+
+    One serializer for every response body, so two servers (or a server
+    and a golden test) given the same payload emit identical bytes.
+    """
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class ProtocolError(Exception):
+    """A typed request rejection carrying its wire representation.
+
+    Raised anywhere in the serving path (parsing, admission, registry
+    lookup); the handler catches it and answers with :attr:`http_status`
+    and :meth:`body`.  ``detail`` is an optional JSON-ready object
+    (e.g. a serialized ``DegradationReason``).
+    """
+
+    def __init__(self, code, message, detail=None, error_type=None):
+        if code not in ERROR_KINDS:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.detail = detail
+        self.error_type = error_type or type(self).__name__
+
+    @property
+    def http_status(self):
+        return ERROR_KINDS[self.code][0]
+
+    @property
+    def exit_code(self):
+        """The CLI exit code this failure maps to (the shared contract)."""
+        return ERROR_KINDS[self.code][1]
+
+    def body(self):
+        """The JSON-ready error response payload."""
+        error = {
+            "code": self.code,
+            "exit_code": self.exit_code,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+        if self.detail is not None:
+            error["detail"] = self.detail
+        return {"ok": False, "error": error}
+
+
+def error_for_exception(error):
+    """Map a library exception to its typed :class:`ProtocolError`.
+
+    The serving twin of ``repro.cli.main``'s exception ladder: the same
+    library failure lands on the same ``exit_code`` whether it surfaced
+    through the CLI or through a served request.
+    """
+    if isinstance(error, ProtocolError):
+        return error
+    name = type(error).__name__
+    if isinstance(error, BudgetExceededError):
+        return ProtocolError(
+            "budget-exhausted", str(error),
+            detail=error.reason.as_dict(), error_type=name)
+    if isinstance(error, ReadOnlyBackendError):
+        return ProtocolError("read-only", str(error), error_type=name)
+    if isinstance(error, (CorruptionError, WalError)):
+        return ProtocolError("corruption", str(error), error_type=name)
+    if isinstance(error, FileNotFoundError):
+        missing = error.filename if error.filename else str(error)
+        return ProtocolError("not-found", f"missing file: {missing}",
+                             error_type=name)
+    if isinstance(error, KeyError):
+        # Registry/variant lookups raise KeyError with the offender.
+        return ProtocolError("not-found", str(error).strip("'\""),
+                             error_type=name)
+    if isinstance(error, (StorageError, ValueError, OSError)):
+        return ProtocolError("internal", str(error), error_type=name)
+    return ProtocolError("internal", f"{name}: {error}", error_type=name)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One parsed, validated ``POST /query`` body."""
+
+    xpath: str
+    index: str = DEFAULT_INDEX
+    ordered: bool = False
+    variant: str | None = None
+    use_maxgap: bool = True
+    limit: int | None = None
+
+
+#: Request fields -> (expected type, default).  ``None`` default means
+#: the field is required.
+_QUERY_FIELDS = {
+    "xpath": (str, None),
+    "index": (str, DEFAULT_INDEX),
+    "ordered": (bool, False),
+    "variant": (str, None),
+    "use_maxgap": (bool, True),
+    "limit": (int, None),
+}
+
+
+def parse_query_request(raw):
+    """Parse request body bytes into a :class:`QueryRequest`.
+
+    Every malformation -- undecodable JSON, a non-object body, a
+    missing ``xpath``, a wrong-typed or unknown field -- is a
+    ``bad-request`` :class:`ProtocolError` naming the offender, so
+    clients debug against messages, not stack traces.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError("bad-request",
+                            f"request body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad-request",
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}")
+    unknown = sorted(set(payload) - set(_QUERY_FIELDS))
+    if unknown:
+        raise ProtocolError(
+            "bad-request",
+            f"unknown request field(s): {', '.join(unknown)}; expected "
+            f"{', '.join(sorted(_QUERY_FIELDS))}")
+    values = {}
+    for field, (expected, default) in _QUERY_FIELDS.items():
+        value = payload.get(field, default)
+        if value is None:
+            if field == "xpath":
+                raise ProtocolError("bad-request",
+                                    "request is missing 'xpath'")
+            continue
+        # bool is an int subclass: reject True where an int is expected.
+        if not isinstance(value, expected) or (
+                expected is int and isinstance(value, bool)):
+            raise ProtocolError(
+                "bad-request",
+                f"field {field!r} must be {expected.__name__}, got "
+                f"{type(value).__name__}")
+        values[field] = value
+    if values.get("variant") not in (None, "rp", "ep"):
+        raise ProtocolError(
+            "bad-request",
+            f"field 'variant' must be 'rp' or 'ep', got "
+            f"{values['variant']!r}")
+    if values.get("limit") is not None and values["limit"] < 0:
+        raise ProtocolError("bad-request", "field 'limit' must be >= 0")
+    return QueryRequest(**values)
+
+
+def match_payload(match):
+    """JSON-ready form of one :class:`~repro.prix.matcher.TwigMatch`."""
+    return {"doc": match.doc_id,
+            "images": [[index, number] for index, number in match.images]}
+
+
+def stats_payload(stats):
+    """JSON-ready subset of a ``QueryStats`` (the ``--explain`` view)."""
+    return {
+        "variant": stats.variant,
+        "strategy": stats.strategy,
+        "arrangements": stats.arrangements,
+        "candidates_refined": stats.candidates_refined,
+        "candidates_accepted": stats.candidates_accepted,
+        "physical_reads": stats.physical_reads,
+        "elapsed_ms": round(stats.elapsed_seconds * 1000.0, 3),
+    }
+
+
+def result_payload(request, matches, stats, generation):
+    """The ``POST /query`` success body (exact or degraded).
+
+    An exact answer lists every match (truncated to ``request.limit``
+    with the overflow counted, like the CLI).  A degraded answer
+    (refinement-phase budget exhaustion) lists the candidate documents
+    and the structured degradation reason instead -- the result
+    contract of ``docs/ROBUSTNESS.md`` on the wire.
+    """
+    approximate = bool(getattr(matches, "approximate", False))
+    body = {
+        "ok": True,
+        "index": {"name": request.index, "generation": generation},
+        "approximate": approximate,
+        "stats": stats_payload(stats),
+    }
+    if approximate:
+        reason = matches.degradation_reason
+        body["degradation"] = reason.as_dict() if reason else None
+        body["candidate_docs"] = matches.doc_ids
+        body["candidate_count"] = len(matches.doc_ids)
+        return body
+    shown = list(matches)
+    truncated = 0
+    if request.limit is not None and len(shown) > request.limit:
+        truncated = len(shown) - request.limit
+        shown = shown[:request.limit]
+    body["matches"] = [match_payload(match) for match in shown]
+    body["match_count"] = len(matches)
+    body["doc_ids"] = matches.doc_ids
+    body["truncated"] = truncated
+    return body

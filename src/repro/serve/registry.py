@@ -1,0 +1,284 @@
+"""Named index mounts: shared handles, leases, hot reload, health.
+
+The :class:`IndexRegistry` owns every :class:`~repro.prix.index.PrixIndex`
+a server answers queries from.  Handlers never hold a raw index
+reference across a request; they take a *lease* (:meth:`IndexRegistry.lease`)
+for the duration of one query, which pins the mounted generation --
+a hot :meth:`reload` can swap in a new generation at any moment, and
+the old one is only closed once its last lease is released.
+
+The reload protocol (``docs/SERVING.md``):
+
+1. the new generation is opened and scrubbed *outside* the registry
+   latch (opening is slow; the latch is for pointer swaps only);
+2. the mount table entry is swapped under ``serve-registry`` -- new
+   queries lease the new generation from this instant;
+3. the old generation is marked retired; when its lease count reaches
+   zero its ``drained`` event fires and the reloader closes it.  A
+   generation with live leases is *never* closed, so an in-flight query
+   keeps byte-stable pages under its feet for its whole lifetime.
+
+Health is cached per generation: mounting (or reloading) runs a full
+:func:`repro.storage.scrub_path` sweep and stores the report's
+canonical :meth:`~repro.storage.guard.ScrubReport.to_json` string --
+``GET /healthz`` serves that cached verdict instead of rescanning the
+file on every probe.
+
+Concurrency: the mount table and each mount's lease count live behind
+the registry's single ``serve-registry`` latch.  The latch ordering is
+``serve-registry`` strictly before any storage latch (a leased query
+acquires buffer-pool/io-stats latches while the lease exists, never
+the other way around) and ``serve-registry`` is never held while
+opening or closing an index.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.prix.index import PrixIndex
+from repro.serve.protocol import ProtocolError
+from repro.storage import Latch, scrub_path
+
+#: How long a reload waits for the old generation's leases to drain
+#: before giving up (queries are budgeted, so seconds suffice).
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+
+class ServeError(RuntimeError):
+    """An operational serving failure (mount conflict, drain timeout).
+
+    Distinct from :class:`~repro.serve.protocol.ProtocolError`: these are
+    operator-facing conditions (bad configuration, a reload that cannot
+    complete), not per-request rejections.
+    """
+
+
+class _Mount:
+    """One mounted index generation.
+
+    ``index``, ``path``, ``backend`` and ``generation`` are immutable
+    after construction; the mutable lease/retire state is guarded by the
+    owning registry's ``serve-registry`` latch (shared via ``_latch``).
+    No ``__slots__``: the sanitizer's guarded-field descriptors store
+    through ``__dict__``.
+    """
+
+    #: Machine-readable guarded-field map (runtime sanitizer); the latch
+    #: is the *registry's* -- every mount of a registry shares it.
+    _GUARDED = {"leases": "_latch", "retired": "_latch"}
+
+    def __init__(self, name, path, backend, generation, index,
+                 health_json, registry_latch):
+        self.name = name
+        self.path = path
+        self.backend = backend
+        self.generation = generation
+        self.index = index
+        self.health_json = health_json
+        self._latch = registry_latch
+        with registry_latch:
+            self.leases = 0    # prixrace: guarded-by=_latch
+            self.retired = False  # prixrace: guarded-by=_latch
+        self.drained = threading.Event()
+
+
+class IndexRegistry:
+    """The server's mount table: name -> live index generation."""
+
+    def __init__(self, drain_timeout=DEFAULT_DRAIN_TIMEOUT):
+        self._latch = Latch("serve-registry")
+        self._mounts = {}  # prixrace: guarded-by=_latch
+        self.drain_timeout = drain_timeout
+
+    #: Machine-readable twin of the ``guarded-by`` comment above.
+    _GUARDED = {"_mounts": "_latch"}
+
+    def _open_generation(self, name, path, backend, generation,
+                         pool_pages):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+        """Scrub ``path``, open it read-shared, build the mount record.
+
+        The scrub runs *before* the open so the cached health verdict
+        describes exactly the bytes this generation serves, and so the
+        checksum sidecar it materializes is already present for the
+        open's guard auto-detection.
+        """
+        report = scrub_path(path)
+        index = PrixIndex.open(path, backend=backend,
+                               pool_pages=pool_pages)
+        return _Mount(name, path, backend, generation, index,
+                      report.to_json(), self._latch)
+
+    def mount(self, name, path, *, backend="mmap",
+              pool_pages=None):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+        """Open ``path`` and serve it as ``name``.
+
+        ``backend`` is any :func:`repro.storage.open_backend` kind --
+        ``"mmap"`` (the serving default), ``"file"`` or ``"arena"``.
+        Mounting an already-mounted name is a :class:`ServeError`; use
+        :meth:`reload` to replace a generation.
+        """
+        with self._latch:
+            if name in self._mounts:
+                raise ServeError(f"index {name!r} is already mounted; "
+                                 "use reload to replace it")
+        mount = self._open_generation(name, path, backend, 1, pool_pages)
+        with self._latch:
+            if name in self._mounts:  # lost a mount race
+                racer = True
+            else:
+                self._mounts[name] = mount
+                racer = False
+        if racer:
+            mount.index.close()
+            raise ServeError(f"index {name!r} is already mounted; "
+                             "use reload to replace it")
+        return mount.generation
+
+    def reload(self, name, timeout=None):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+        """Hot-swap ``name`` to a fresh generation of its index file.
+
+        Re-opens the mount's path (picking up a rebuilt index), swaps it
+        in atomically, then waits for the old generation's leases to
+        drain before closing it.  Returns the new generation number.
+        Unknown names raise ``KeyError`` (a typed ``not-found`` on the
+        wire); a drain that exceeds ``timeout`` raises
+        :class:`ServeError` -- the new generation stays live either way.
+        """
+        with self._latch:
+            if name not in self._mounts:
+                raise KeyError(f"no index mounted as {name!r}")
+            old = self._mounts[name]
+        fresh = self._open_generation(name, old.path, old.backend,
+                                      old.generation + 1, None)
+        with self._latch:
+            self._mounts[name] = fresh
+            old.retired = True
+            idle = old.leases == 0
+        if idle:
+            old.drained.set()
+        if timeout is None:
+            timeout = self.drain_timeout
+        if not old.drained.wait(timeout):
+            raise ServeError(
+                f"reload of {name!r}: generation {old.generation} still "
+                f"has leases after {timeout:.1f}s; it stays open and "
+                "leaks until its queries finish")
+        old.index.close()
+        return fresh.generation
+
+    def lease(self, name):  # prixeffect: declares=latch-acquire
+        """Pin the current generation of ``name`` for one query.
+
+        Returns a context manager yielding the :class:`_Mount`; the
+        mounted index cannot be closed by a concurrent reload until the
+        ``with`` block exits.  Unknown names raise a typed
+        ``not-found`` :class:`~repro.serve.protocol.ProtocolError`.
+        """
+        with self._latch:
+            mount = self._mounts.get(name)
+            if mount is None:
+                raise ProtocolError(
+                    "not-found",
+                    f"no index mounted as {name!r}; mounted: "
+                    f"{', '.join(sorted(self._mounts)) or '(none)'}")
+            mount.leases += 1
+        return _Lease(self, mount)
+
+    def _release(self, mount):  # prixeffect: declares=latch-acquire
+        with self._latch:
+            mount.leases -= 1
+            fire = mount.retired and mount.leases == 0
+        if fire:
+            mount.drained.set()
+
+    def describe(self):  # prixeffect: declares=latch-acquire
+        """JSON-ready mount table (the ``GET /indexes`` body)."""
+        out = {}
+        with self._latch:
+            for name, mount in sorted(self._mounts.items()):
+                out[name] = {
+                    "path": mount.path,
+                    "backend": mount.backend,
+                    "generation": mount.generation,
+                    "leases": mount.leases,
+                }
+        return out
+
+    def health(self):  # prixeffect: declares=latch-acquire
+        """Cached per-mount scrub verdicts (the ``GET /healthz`` body).
+
+        Each mount's ``scrub`` entry is the parsed form of the exact
+        :meth:`~repro.storage.guard.ScrubReport.to_json` string cached
+        when its generation was opened -- the same serializer ``prix
+        scrub --json`` prints, so the two surfaces cannot drift.
+        """
+        with self._latch:
+            mounts = dict(self._mounts)
+        out = {}
+        for name, mount in sorted(mounts.items()):
+            scrub = json.loads(mount.health_json)
+            out[name] = {
+                "generation": mount.generation,
+                "healthy": (scrub["catalog_ok"]
+                            and not scrub["pages_corrupt"]),
+                "scrub": scrub,
+            }
+        return out
+
+    def stats(self):  # prixeffect: declares=latch-acquire
+        """Per-mount IOStats snapshots (merged into ``GET /metrics``)."""
+        with self._latch:
+            mounts = dict(self._mounts)
+        out = {}
+        for name, mount in sorted(mounts.items()):
+            snap = mount.index.io_stats.snapshot()
+            out[name] = {
+                "physical_reads": snap.physical_reads,
+                "logical_reads": snap.logical_reads,
+                "evictions": snap.evictions,
+                "guard_verifications": snap.guard_verifications,
+                "guard_repairs": snap.guard_repairs,
+                "guard_quarantines": snap.guard_quarantines,
+            }
+        return out
+
+    def close_all(self):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+        """Close every mount (shutdown path; callers drain first)."""
+        with self._latch:
+            mounts = list(self._mounts.values())
+            self._mounts = {}
+        for mount in mounts:
+            mount.index.close()
+
+
+class _Lease(object):
+    """Context manager pinning one mount for one query."""
+
+    __slots__ = ("_registry", "mount")
+
+    def __init__(self, registry, mount):
+        self._registry = registry
+        self.mount = mount
+
+    def __enter__(self):
+        return self.mount
+
+    def __exit__(self, *exc):
+        self._registry._release(self.mount)
+        return False
+
+
+def _register_with_sanitizer():
+    """Opt the guarded fields into ``PRIX_SANITIZE=1`` enforcement.
+
+    The analysis layer cannot import the serving tier (that would
+    invert the layering), so the serving tier registers itself.
+    """
+    from repro.analysis import sanitizer  # prixlint: disable=layering
+    sanitizer.register_guarded_class(IndexRegistry)
+    sanitizer.register_guarded_class(_Mount)
+
+
+_register_with_sanitizer()

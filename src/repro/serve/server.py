@@ -1,0 +1,354 @@
+"""The ``prix serve`` front end: a threaded HTTP server over shared indexes.
+
+One process, one :class:`PrixServeServer` -- a stdlib
+:class:`~http.server.ThreadingHTTPServer` (thread per connection, no
+dependencies) whose handler threads answer twig queries over index
+generations shared through the :class:`~repro.serve.registry.IndexRegistry`.
+The read path is why this works without a write lock anywhere: every
+mount is a read-only backend (``mmap`` by default), so concurrent
+queries only contend on the storage latches the stress oracle already
+exercises (``docs/CONCURRENCY.md``).
+
+Endpoints (all JSON; see :mod:`repro.serve.protocol` for the schemas):
+
+- ``POST /query``   -- run one twig query against a named mount.
+- ``POST /reload``  -- hot-swap a mount to a fresh generation.
+- ``GET /healthz``  -- cached per-generation scrub verdicts.
+- ``GET /metrics``  -- request/latency/degradation counters plus the
+  per-mount storage ``IOStats``.
+- ``GET /indexes``  -- the mount table.
+
+Shutdown: SIGTERM (or SIGINT) triggers :meth:`PrixServeServer.drain` --
+stop admitting, wait for in-flight queries, stop accepting, close every
+mount.  The accept loop runs in a worker thread so the main thread can
+sit in ``signal``-interruptible waits.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve import protocol
+from repro.serve.admission import (AdmissionController,
+                                   DEFAULT_MAX_INFLIGHT, ServerLimits)
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import (ProtocolError, error_for_exception,
+                                  parse_query_request, result_payload)
+from repro.serve.registry import DEFAULT_DRAIN_TIMEOUT, IndexRegistry
+
+#: Request bodies larger than this are rejected outright (a twig query
+#: is a few hundred bytes; nothing legitimate approaches this).
+MAX_BODY_BYTES = 1 << 20
+
+
+class PrixServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer wiring registry, admission and metrics.
+
+    ``daemon_threads`` so a drained shutdown never hangs on a stuck
+    connection: admission already guarantees no *query* is in flight
+    when the process exits.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, address, registry, admission, metrics):
+        self.registry = registry
+        self.admission = admission
+        self.metrics = metrics
+        super().__init__(address, PrixRequestHandler)
+
+    def drain(self, timeout=DEFAULT_DRAIN_TIMEOUT):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+        """Graceful shutdown: reject, drain, stop accepting, close.
+
+        Returns True when every in-flight query finished inside
+        ``timeout`` (the clean-drain signal the CI smoke job asserts);
+        mounts are closed either way, since the process is exiting.
+        """
+        self.admission.begin_drain()
+        clean = self.admission.wait_drained(timeout)
+        self.shutdown()
+        self.server_close()
+        self.registry.close_all()
+        return clean
+
+
+class PrixRequestHandler(BaseHTTPRequestHandler):
+    """Endpoint dispatch; every response goes through :meth:`_respond`.
+
+    The handler owns no state: registry, admission and metrics all hang
+    off ``self.server``.  Effects stay behind those objects -- this
+    module performs no raw I/O of its own (sockets are not pages).
+    """
+
+    protocol_version = "HTTP/1.1"
+    server_version = "prix-serve"
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Quiet the per-request stderr chatter; /metrics observes."""
+
+    def _respond(self, status, payload):
+        body = protocol.dumps(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(
+                "bad-request",
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
+        return self.rfile.read(length)
+
+    def _run(self, endpoint, work):  # prixeffect: declares=latch-acquire
+        """Execute one endpoint, map failures, record metrics.
+
+        ``work`` returns ``(status, payload)``; any exception it raises
+        is converted to its typed protocol error and served as JSON --
+        a handler thread must never die with a traceback on the socket.
+
+        Metrics are recorded *before* the response bytes go out: a
+        client that has read its answer is guaranteed to see that
+        request in a subsequent ``/metrics`` scrape, even though the
+        scrape runs on a different handler thread.
+        """
+        started = time.perf_counter()
+        error_code = None
+        degraded = False
+        rejected = False
+        try:
+            status, payload = work()
+            degraded = bool(payload.get("approximate"))
+        except Exception as error:  # noqa: BLE001 - boundary by design
+            typed = error_for_exception(error)
+            error_code = typed.code
+            rejected = typed.code in ("over-capacity", "draining")
+            status, payload = typed.http_status, typed.body()
+        self.server.metrics.observe(
+            endpoint, time.perf_counter() - started,
+            error_code=error_code, degraded=degraded, rejected=rejected)
+        self._respond(status, payload)
+
+    # ------------------------------------------------------------ endpoints
+
+    def do_GET(self):  # prixeffect: declares=latch-acquire
+        if self.path == "/healthz":
+            self._run("/healthz", self._healthz)
+        elif self.path == "/metrics":
+            self._run("/metrics", self._metrics)
+        elif self.path == "/indexes":
+            self._run("/indexes", self._indexes)
+        elif self.path in ("/query", "/reload"):
+            self._run(self.path, self._wrong_method)
+        else:
+            self._run(self.path, self._unknown_path)
+
+    def do_POST(self):  # prixeffect: declares=latch-acquire
+        if self.path == "/query":
+            self._run("/query", self._query)
+        elif self.path == "/reload":
+            self._run("/reload", self._reload)
+        elif self.path in ("/healthz", "/metrics", "/indexes"):
+            self._run(self.path, self._wrong_method)
+        else:
+            self._run(self.path, self._unknown_path)
+
+    def _unknown_path(self):
+        raise ProtocolError(
+            "not-found",
+            f"no endpoint {self.path!r}; available: /query /reload "
+            "/healthz /metrics /indexes")
+
+    def _wrong_method(self):
+        raise ProtocolError(
+            "method-not-allowed",
+            f"{self.command} is not allowed on {self.path}")
+
+    def _query(self):  # prixeffect: declares=pager-io,wal-io,latch-acquire,stats-mutate
+        """``POST /query``: admit, lease, execute, serialize.
+
+        The admission fork gives this request its own budget meter; the
+        lease pins the mount's generation for exactly the query's
+        lifetime, so a concurrent ``/reload`` can never close the pages
+        under a running matcher.
+        """
+        request = parse_query_request(self._read_body())
+        server = self.server
+        with server.admission.admit() as budget:
+            with server.registry.lease(request.index) as mount:
+                matches, stats = mount.index.query_with_stats(
+                    request.xpath, ordered=request.ordered,
+                    variant=request.variant,
+                    use_maxgap=request.use_maxgap, budget=budget)
+                generation = mount.generation
+        return 200, result_payload(request, matches, stats, generation)
+
+    def _reload(self):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+        raw = self._read_body()
+        name = protocol.DEFAULT_INDEX
+        if raw:
+            import json
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise ProtocolError(
+                    "bad-request",
+                    f"request body is not valid JSON: {error}")
+            if not isinstance(payload, dict):
+                raise ProtocolError("bad-request",
+                                    "request body must be a JSON object")
+            name = payload.get("index", name)
+            if not isinstance(name, str):
+                raise ProtocolError("bad-request",
+                                    "field 'index' must be str")
+        generation = self.server.registry.reload(name)
+        return 200, {"ok": True, "index": name, "generation": generation}
+
+    def _healthz(self):  # prixeffect: declares=latch-acquire
+        health = self.server.registry.health()
+        healthy = bool(health) and all(entry["healthy"]
+                                       for entry in health.values())
+        status = 200 if healthy else 503
+        return status, {"ok": healthy, "healthy": healthy,
+                        "draining": self.server.admission.draining(),
+                        "indexes": health}
+
+    def _metrics(self):  # prixeffect: declares=latch-acquire
+        body = self.server.metrics.snapshot()
+        body["ok"] = True
+        body["storage"] = self.server.registry.stats()
+        body["admission"] = {
+            "inflight": self.server.admission.inflight(),
+            "max_inflight": self.server.admission.limits.max_inflight,
+            "draining": self.server.admission.draining(),
+        }
+        return 200, body
+
+    def _indexes(self):  # prixeffect: declares=latch-acquire
+        return 200, {"ok": True, "indexes": self.server.registry.describe()}
+
+
+# ---------------------------------------------------------------- assembly
+
+def build_server(mounts, *, host="127.0.0.1", port=0, backend="mmap",
+                 pool_pages=None, limits=None,
+                 drain_timeout=DEFAULT_DRAIN_TIMEOUT):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+    """Mount every ``(name, path)`` and return a bound, unstarted server.
+
+    ``port=0`` binds an ephemeral port (tests and the CI smoke job read
+    it back from ``server.server_address``).
+    """
+    registry = IndexRegistry(drain_timeout=drain_timeout)
+    for name, path in mounts:
+        registry.mount(name, path, backend=backend, pool_pages=pool_pages)
+    admission = AdmissionController(limits or ServerLimits())
+    metrics = ServerMetrics()
+    return PrixServeServer((host, port), registry, admission, metrics)
+
+
+def serve_until_signaled(server, *, signals=(signal.SIGTERM, signal.SIGINT),
+                         out=None):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+    """Run the accept loop until a signal arrives, then drain.
+
+    Returns 0 on a clean drain (every in-flight query finished), 1
+    otherwise -- the process exit code.
+    """
+    out = out if out is not None else sys.stdout
+    stop = threading.Event()
+
+    def _handle(signum, frame):
+        stop.set()
+
+    previous = {number: signal.signal(number, _handle)
+                for number in signals}
+    accept = threading.Thread(target=server.serve_forever,
+                              name="prix-serve-accept")
+    accept.start()
+    host, port = server.server_address[:2]
+    print(f"prix serve: listening on http://{host}:{port}", file=out,
+          flush=True)
+    try:
+        stop.wait()
+    finally:
+        for number, handler in previous.items():
+            signal.signal(number, handler)
+        print("prix serve: draining", file=out, flush=True)
+        clean = server.drain()
+        accept.join()
+        print("prix serve: drained cleanly" if clean
+              else "prix serve: drain timed out", file=out, flush=True)
+    return 0 if clean else 1
+
+
+def add_serve_arguments(parser):
+    """Attach the ``prix serve`` flags to an argparse parser."""
+    parser.add_argument("index", help="index file to mount as 'default'")
+    parser.add_argument("--mount", action="append", default=[],
+                        metavar="NAME=PATH",
+                        help="mount an additional index under NAME "
+                             "(repeatable)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8399,
+                        help="listen port (0 binds an ephemeral port)")
+    parser.add_argument("--backend", choices=["file", "mmap", "arena"],
+                        default="mmap",
+                        help="storage backend for every mount "
+                             "(default: mmap, read-only shared pages)")
+    parser.add_argument("--pool-pages", type=int, default=None,
+                        help="buffer-pool frames per mount")
+    parser.add_argument("--max-inflight", type=int,
+                        default=DEFAULT_MAX_INFLIGHT,
+                        help="concurrent-query cap; excess requests get "
+                             "a typed over-capacity rejection")
+    parser.add_argument("--budget-range-queries", type=int, default=None,
+                        metavar="N",
+                        help="per-request cap on trie range queries")
+    parser.add_argument("--budget-reads", type=int, default=None,
+                        metavar="N",
+                        help="per-request cap on physical page reads")
+    parser.add_argument("--budget-candidates", type=int, default=None,
+                        metavar="N",
+                        help="per-request cap on refinement candidates; "
+                             "exceeding degrades to the approximate "
+                             "superset answer")
+    parser.add_argument("--budget-ms", type=float, default=None,
+                        metavar="MS",
+                        help="per-request wall-clock deadline in ms")
+    parser.add_argument("--drain-timeout", type=float,
+                        default=DEFAULT_DRAIN_TIMEOUT,
+                        help="seconds to wait for in-flight queries on "
+                             "shutdown and reload")
+    return parser
+
+
+def run(args):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+    """``prix serve`` / ``python -m repro.serve`` entry point."""
+    mounts = [(protocol.DEFAULT_INDEX, args.index)]
+    for spec in args.mount:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            print(f"error: --mount expects NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        mounts.append((name, path))
+    limits = ServerLimits.from_args(
+        max_inflight=args.max_inflight,
+        max_range_queries=args.budget_range_queries,
+        max_physical_reads=args.budget_reads,
+        max_candidates=args.budget_candidates,
+        deadline_seconds=(args.budget_ms / 1000.0
+                          if args.budget_ms is not None else None))
+    server = build_server(
+        mounts, host=args.host, port=args.port, backend=args.backend,
+        pool_pages=args.pool_pages, limits=limits,
+        drain_timeout=args.drain_timeout)
+    return serve_until_signaled(server)

@@ -51,6 +51,7 @@ from repro.storage.faults import (CrashPoint, FaultSchedule, FaultyFile,
                                   corruption_plan, inject_corruption)
 from repro.storage.guard import (PageGuard, ScrubReport, scrub, scrub_path,
                                  wal_repair_source)
+from repro.storage.latch import Latch
 from repro.storage.mmapio import MmapPager
 from repro.storage.pager import DEFAULT_PAGE_SIZE, Pager
 from repro.storage.records import RecordStore
@@ -73,6 +74,7 @@ __all__ = [
     "FilePagerBackend",
     "IOStats",
     "InMemoryArenaBackend",
+    "Latch",
     "MmapBackend",
     "MmapPager",
     "PageCorruptionError",

@@ -241,6 +241,37 @@ class InMemoryArenaBackend(FilePagerBackend):  # priximpl: StorageBackend
         pager = ArenaPager(page_size=page_size, guard=guard)
         super().__init__(pager, capacity=pool_pages or DEFAULT_POOL_PAGES)
 
+    @classmethod
+    def preload(cls, path, page_size=DEFAULT_PAGE_SIZE, pool_pages=None,
+                guard=None):  # prixeffect: declares=raw-io,pager-io,wal-io,alloc-page,latch-acquire,stats-mutate
+        """Arena backend warm-loaded from the saved index at ``path``.
+
+        Every page of the file is copied into process memory once, up
+        front, and the I/O counters are then reset -- so the snapshot
+        serves queries with **zero** physical page reads afterwards (the
+        serving tier's hot-index mode; ``docs/SERVING.md``).  The copy
+        is a *snapshot*: it is never written back, so mutations on it
+        die with the process -- which is why :func:`open_backend`
+        refuses to attach a write-ahead log to one.
+
+        ``guard`` (an opened :class:`PageGuard` sidecar) is attached
+        *after* the raw copy, so later reads verify the arena images
+        against the on-disk stamps exactly as the file backend would.
+        """
+        backend = cls(page_size=page_size, pool_pages=pool_pages)
+        source = Pager.open(path, page_size=page_size)
+        try:
+            arena = backend._pager
+            for page_id in range(source.num_pages):
+                arena.allocate()
+                arena.write(page_id, source.read_raw(page_id))
+        finally:
+            source.close()
+        if guard is not None:
+            backend._pager.attach_guard(guard)
+        backend.stats.reset()
+        return backend
+
 
 class MmapBackend(FilePagerBackend):  # priximpl: StorageBackend
     """Read-only serving backend over a memory-mapped index file.
@@ -366,7 +397,11 @@ def open_backend(path, page_size, pool_pages=None, kind="file",
     ``kind="file"`` reopens the writable production stack (optionally
     durable); ``kind="mmap"`` maps the file read-only for serving --
     asking for a WAL there is a :class:`ReadOnlyBackendError` because a
-    read-only backend has nothing to log.
+    read-only backend has nothing to log.  ``kind="arena"`` copies the
+    whole file into process memory once (a warm snapshot: pool misses
+    are served from RAM, :meth:`InMemoryArenaBackend.preload`);
+    attaching a WAL there is equally refused because changes to a
+    snapshot can never reach the index file.
     """
     if guard_path is None:
         guard_path = path + ".sum"
@@ -378,9 +413,17 @@ def open_backend(path, page_size, pool_pages=None, kind="file",
                 "write-ahead log")
         return MmapBackend(path, page_size=page_size,
                            pool_pages=pool_pages, guard=page_guard)
+    if kind == "arena":
+        if durable:
+            raise ReadOnlyBackendError(
+                "the arena backend opens a detached in-memory snapshot; "
+                "it cannot attach a write-ahead log")
+        return InMemoryArenaBackend.preload(path, page_size=page_size,
+                                            pool_pages=pool_pages,
+                                            guard=page_guard)
     if kind != "file":
         raise ValueError(f"unknown storage backend {kind!r} for open "
-                         "(expected 'file' or 'mmap')")
+                         "(expected 'file', 'arena' or 'mmap')")
     backend = FilePagerBackend.open(path, page_size=page_size,
                                     pool_pages=pool_pages,
                                     guard=page_guard)

@@ -33,6 +33,7 @@ sanctioned raw-I/O gateway in ``repro.storage``.
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 
@@ -331,6 +332,16 @@ class ScrubReport:
             "catalog_error": self.catalog_error,
             "healthy": self.healthy,
         }
+
+    def to_json(self, indent=None):
+        """Canonical JSON serialization of :meth:`as_dict`.
+
+        The *single* serializer for scrub health: both ``prix scrub
+        --json`` and the serving subsystem's ``/healthz`` endpoint emit
+        exactly this string (``docs/SERVING.md``), so the two surfaces
+        cannot drift apart.  Keys are sorted for byte-stable output.
+        """
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
 
     def render(self):
         """Human-readable per-file health summary (``prix scrub``)."""

@@ -237,3 +237,71 @@ class TestQueryBudget:
                      "--budget-candidates", "1000",
                      "--budget-ms", "60000"]) == 0
         assert capsys.readouterr().out == exact
+
+
+class TestBackendFlag:
+    def test_query_backends_answer_identically(self, built_index, capsys):
+        assert main(["query", built_index, "//book/title"]) == 0
+        exact = capsys.readouterr().out
+        for backend in ("mmap", "arena"):
+            assert main(["query", built_index, "//book/title",
+                         "--backend", backend]) == 0
+            assert capsys.readouterr().out == exact, backend
+
+    def test_stats_backend_flag(self, built_index, capsys):
+        for backend in ("mmap", "arena"):
+            assert main(["stats", built_index, "--backend", backend]) == 0
+            out = capsys.readouterr().out
+            assert "documents: 2" in out, backend
+
+    def test_unknown_backend_is_usage_error(self, built_index, capsys):
+        with pytest.raises(SystemExit) as caught:
+            main(["query", built_index, "//a", "--backend", "floppy"])
+        assert caught.value.code == 2
+
+
+class TestScrubJson:
+    def test_scrub_json_is_the_canonical_serializer(self, guarded_index,
+                                                    capsys):
+        # `prix scrub --json` and the server's /healthz share one
+        # serializer: ScrubReport.to_json (docs/SERVING.md).
+        import json
+
+        from repro.storage import scrub_path
+        assert main(["scrub", guarded_index, "--json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == json.loads(
+            scrub_path(guarded_index).to_json())
+
+    def test_scrub_json_reports_corruption_with_exit_3(self, guarded_index,
+                                                       capsys):
+        import json
+        assert main(["checkpoint", guarded_index]) == 0
+        with open(guarded_index, "r+b") as handle:
+            handle.seek(256 * 3)
+            handle.write(b"\x00" * 256)
+        capsys.readouterr()
+        assert main(["scrub", guarded_index, "--json"]) == 3
+        report = json.loads(capsys.readouterr().out)
+        assert report["pages_corrupt"] != []
+
+
+class TestServeParser:
+    def test_serve_subcommand_is_registered(self):
+        from repro.cli import make_parser
+        args = make_parser().parse_args(
+            ["serve", "x.idx", "--port", "0", "--backend", "arena",
+             "--mount", "extra=y.idx", "--max-inflight", "4",
+             "--budget-candidates", "100"])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.index == "x.idx"
+        assert args.port == 0
+        assert args.backend == "arena"
+        assert args.mount == ["extra=y.idx"]
+        assert args.max_inflight == 4
+
+    def test_serve_defaults(self):
+        from repro.cli import make_parser
+        args = make_parser().parse_args(["serve", "x.idx"])
+        assert args.port == 8399
+        assert args.backend == "mmap"

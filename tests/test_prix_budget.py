@@ -55,6 +55,39 @@ class TestBudgetDataclass:
         assert not QueryBudget(max_physical_reads=5).unlimited
         assert not QueryBudget(deadline_seconds=0.5).unlimited
 
+    def test_fork_copies_limits_into_a_fresh_budget(self):
+        template = QueryBudget(max_range_queries=1, max_physical_reads=2,
+                               max_candidates=3, deadline_seconds=4.0)
+        fork = template.fork()
+        assert fork == template
+        assert fork is not template
+        assert QueryBudget().fork().unlimited
+
+    def test_forked_meters_do_not_share_state(self):
+        # The serving-tier property: one template budget, one meter per
+        # request -- spending in one fork's meter must never count
+        # against another's caps.
+        template = QueryBudget(max_range_queries=2)
+        first = template.fork().meter()
+        second = template.fork().meter()
+        first.charge_range_query()
+        first.charge_range_query()
+        second.charge_range_query()
+        second.charge_range_query()   # its own allowance, untouched
+        with pytest.raises(BudgetExceededError):
+            first.charge_range_query()
+
+    def test_forked_meter_deadline_starts_at_its_own_meter_call(self):
+        clock = FakeClock()
+        template = QueryBudget(deadline_seconds=1.0)
+        clock.now = 10.0   # time passed before this request arrived
+        meter = template.fork().meter(clock=clock)
+        clock.now = 10.5
+        meter.checkpoint()  # half the allowance left, not long expired
+        clock.now = 11.5
+        with pytest.raises(BudgetExceededError):
+            meter.checkpoint()
+
 
 class TestBudgetMeter:
     def test_range_queries_exhaust_in_filter_phase(self):

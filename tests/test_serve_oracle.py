@@ -1,0 +1,262 @@
+"""Live-server oracle: concurrent HTTP clients vs. direct index calls.
+
+The serving tier must add *nothing* to the query semantics: N client
+threads hammering a live ``prix serve`` process get byte-identical
+answers to direct single-threaded :class:`PrixIndex` calls, and the
+server's storage counters obey the same exact conservation law the
+threaded stress harness pins (``tests/test_threaded_stress.py``):
+
+- every response's matches equal the reference, byte-for-byte (compared
+  through the canonical protocol serialization);
+- the server-side ``physical_reads`` delta over the client phase equals
+  the reference pass exactly -- single-flight loading means T threads
+  missing on the same page read it once;
+- ``logical_reads`` equals ``T x`` the reference (all the work
+  happened, none was lost);
+- zero evictions (the pool is sized above the working set).
+
+Also covered live: budget admission (filter-phase over-quota -> typed
+429; refinement-phase -> sound ``approximate=True`` superset), the
+cached-scrub ``/healthz`` regression against ``ScrubReport.to_json``,
+``/metrics`` accounting, and graceful drain.
+
+Runs unchanged under ``PRIX_SANITIZE=1`` (the CI serve-smoke sanitized
+shard does exactly that).  Environment knobs:
+
+- ``PRIX_SERVE_THREADS``: comma-separated client thread counts
+  (default 2,8).
+"""
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.bench.workloads import queries_for
+from repro.datasets.dblp import dblp
+from repro.prix.budget import QueryBudget
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.serve import protocol
+from repro.serve.admission import ServerLimits
+from repro.serve.server import build_server
+from repro.storage import scrub_path
+
+THREAD_COUNTS = [int(t) for t in
+                 os.environ.get("PRIX_SERVE_THREADS", "2,8").split(",")]
+QUERIES = [(spec.qid, spec.xpath) for spec in queries_for("dblp")]
+
+#: Far above the working set of an 80-record corpus (zero evictions).
+POOL_PAGES = 512
+
+
+@pytest.fixture(scope="module")
+def index_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve-oracle") / "oracle.prix")
+    index = PrixIndex.build(dblp(n_records=80, seed=11),
+                            IndexOptions(path=path,
+                                         pool_pages=POOL_PAGES))
+    index.save()
+    index.close()
+    return path
+
+
+@contextmanager
+def live_server(path, backend="mmap", limits=None):
+    server = build_server([("default", path)], port=0, backend=backend,
+                          pool_pages=POOL_PAGES, limits=limits)
+    accept = threading.Thread(target=server.serve_forever,
+                              name="serve-oracle-accept")
+    accept.start()
+    host, port = server.server_address[:2]
+    try:
+        yield server, f"http://{host}:{port}"
+    finally:
+        server.drain(timeout=30.0)
+        accept.join(30.0)
+
+
+def http_post(base, path, payload):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode("utf-8"),
+        method="POST", headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def http_get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def canonical_answer(body):
+    """The semantic part of a /query response, canonically serialized."""
+    return protocol.dumps({"approximate": body["approximate"],
+                           "doc_ids": body["doc_ids"],
+                           "match_count": body["match_count"],
+                           "matches": body["matches"]})
+
+
+def reference_answers(path, backend):
+    """Single-threaded direct-index ground truth, as wire payloads."""
+    answers = {}
+    with PrixIndex.open(path, pool_pages=POOL_PAGES,
+                        backend=backend) as index:
+        base = index.io_stats.snapshot()
+        for qid, xpath in QUERIES:
+            request = protocol.QueryRequest(xpath=xpath)
+            matches, stats = index.query_with_stats(xpath)
+            answers[qid] = canonical_answer(
+                protocol.result_payload(request, matches, stats, 1))
+        totals = index.io_stats.delta(base)
+    return answers, {"physical_reads": totals.physical_reads,
+                     "logical_reads": totals.logical_reads,
+                     "evictions": totals.evictions}
+
+
+def storage_counters(base_url):
+    status, body = http_get(base_url, "/metrics")
+    assert status == 200
+    return body["storage"]["default"]
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+@pytest.mark.parametrize("backend", ["mmap", "file"])
+def test_concurrent_clients_match_direct_index_exactly(index_path, backend,
+                                                       threads):
+    with live_server(index_path, backend=backend) as (server, base_url):
+        reference, ref_io = reference_answers(index_path, backend)
+        assert ref_io["physical_reads"] > 0  # the oracle is non-trivial
+
+        before = storage_counters(base_url)
+        barrier = threading.Barrier(threads)
+        outcomes = [None] * threads
+
+        def client(slot):
+            try:
+                barrier.wait()
+                answers = {}
+                for qid, xpath in QUERIES:
+                    status, body = http_post(base_url, "/query",
+                                             {"xpath": xpath})
+                    assert status == 200, body
+                    answers[qid] = canonical_answer(body)
+                outcomes[slot] = ("ok", answers)
+            except Exception as error:  # noqa: BLE001 - relayed below
+                outcomes[slot] = ("err", repr(error))
+
+        pool = [threading.Thread(target=client, args=(slot,),
+                                 name=f"serve-client-{slot}")
+                for slot in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        after = storage_counters(base_url)
+
+    assert [o for o in outcomes if o[0] == "err"] == []
+    divergent = {slot: outcome[1] for slot, outcome in enumerate(outcomes)
+                 if outcome[1] != reference}
+    assert divergent == {}, "served results diverge from direct index"
+
+    served_io = {key: after[key] - before[key]
+                 for key in ("physical_reads", "logical_reads",
+                             "evictions")}
+    assert served_io == {
+        "physical_reads": ref_io["physical_reads"],
+        "logical_reads": threads * ref_io["logical_reads"],
+        "evictions": 0,
+    }
+
+
+def test_filter_phase_over_quota_is_a_typed_429(index_path):
+    limits = ServerLimits(budget=QueryBudget(max_range_queries=1))
+    with live_server(index_path, limits=limits) as (server, base_url):
+        status, body = http_post(base_url, "/query",
+                                 {"xpath": "//article/author"})
+    assert status == 429
+    error = body["error"]
+    assert error["code"] == "budget-exhausted"
+    assert error["exit_code"] == 1
+    assert error["error_type"] == "BudgetExceededError"
+    assert error["detail"]["phase"] == "filter"
+    assert error["detail"]["limit"] == "range_queries"
+
+
+def test_refinement_over_quota_degrades_to_sound_superset(index_path):
+    limits = ServerLimits(budget=QueryBudget(max_candidates=1))
+    with live_server(index_path, limits=limits) as (server, base_url):
+        status, body = http_post(base_url, "/query",
+                                 {"xpath": "//article/author"})
+        exact_docs = None
+        with PrixIndex.open(index_path, backend="mmap") as index:
+            exact_docs = index.query("//article/author").doc_ids
+    assert status == 200
+    assert body["approximate"] is True
+    assert body["degradation"]["phase"] == "refinement"
+    assert body["degradation"]["limit"] == "candidates"
+    # Theorems 1-2: the degraded answer is a superset of the exact one.
+    assert set(body["candidate_docs"]) >= set(exact_docs)
+
+
+def test_over_capacity_and_draining_rejections_are_typed(index_path):
+    limits = ServerLimits(max_inflight=0)
+    with live_server(index_path, limits=limits) as (server, base_url):
+        status, body = http_post(base_url, "/query", {"xpath": "//a"})
+        assert (status, body["error"]["code"]) == (503, "over-capacity")
+        server.admission.begin_drain()
+        status, body = http_post(base_url, "/query", {"xpath": "//a"})
+        assert (status, body["error"]["code"]) == (503, "draining")
+
+
+def test_healthz_serves_the_exact_scrub_to_json(index_path):
+    with live_server(index_path) as (server, base_url):
+        status, body = http_get(base_url, "/healthz")
+        # Recomputed now, the report must equal the mount-time cache:
+        # both sides are ScrubReport.to_json of the same bytes.
+        expected = json.loads(scrub_path(index_path).to_json())
+    assert status == 200
+    assert body["healthy"] is True
+    entry = body["indexes"]["default"]
+    assert entry["scrub"] == expected
+    assert entry["generation"] == 1
+
+
+def test_metrics_account_requests_errors_and_degradations(index_path):
+    limits = ServerLimits(budget=QueryBudget(max_candidates=1))
+    with live_server(index_path, limits=limits) as (server, base_url):
+        http_post(base_url, "/query", {"xpath": "//article/author"})  # degrades
+        http_post(base_url, "/query", {"bad": "request"})
+        http_get(base_url, "/nowhere")
+        status, body = http_get(base_url, "/metrics")
+    assert status == 200
+    query = body["endpoints"]["/query"]
+    assert query["requests"] == 2
+    assert query["degraded"] == 1
+    assert query["errors"] == {"bad-request": 1}
+    assert body["endpoints"]["/nowhere"]["errors"] == {"not-found": 1}
+    assert body["admission"]["inflight"] == 0
+
+
+def test_reload_and_drain_leave_no_loose_ends(index_path):
+    with live_server(index_path) as (server, base_url):
+        status, body = http_post(base_url, "/reload", {})
+        assert (status, body["generation"]) == (200, 2)
+        status, body = http_post(base_url, "/query",
+                                 {"xpath": "//article/author"})
+        assert status == 200
+        assert body["index"]["generation"] == 2
+    # The context manager drained: every mount is closed and the socket
+    # is gone.
+    assert server.registry.describe() == {}
+    with pytest.raises(urllib.error.URLError):
+        http_get(base_url, "/healthz")

@@ -1,0 +1,218 @@
+"""Unit tests for the serving tier's shared state: registry, admission,
+metrics -- the pieces under the ``serve-*`` latches.
+
+The live-server behaviour (threads, sockets, drains) is covered by
+``tests/test_serve_oracle.py``; here each component's protocol is pinned
+in isolation: lease counting, the reload swap-and-drain dance, admission
+capacity/drain rejections and budget forking, and the metrics counters.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.datasets.dblp import dblp
+from repro.prix.budget import QueryBudget
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.serve.admission import AdmissionController, ServerLimits
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import ProtocolError
+from repro.serve.registry import IndexRegistry, ServeError
+from repro.storage import scrub_path
+
+
+@pytest.fixture
+def index_path(tmp_path):
+    path = str(tmp_path / "serve.prix")
+    index = PrixIndex.build(dblp(n_records=12, seed=7),
+                            IndexOptions(path=path))
+    index.save()
+    index.close()
+    return path
+
+
+# ---------------------------------------------------------------- registry
+
+def test_mount_lease_query_and_close(index_path):
+    registry = IndexRegistry()
+    assert registry.mount("default", index_path) == 1
+    with registry.lease("default") as mount:
+        assert mount.generation == 1
+        matches = mount.index.query("//article/author")
+        assert len(matches) > 0
+    assert registry.describe()["default"]["leases"] == 0
+    registry.close_all()
+    assert registry.describe() == {}
+
+
+def test_mount_rejects_duplicates_and_lease_rejects_unknown(index_path):
+    registry = IndexRegistry()
+    registry.mount("default", index_path)
+    with pytest.raises(ServeError):
+        registry.mount("default", index_path)
+    with pytest.raises(ProtocolError) as caught:
+        registry.lease("nope")
+    assert caught.value.code == "not-found"
+    registry.close_all()
+
+
+def test_reload_swaps_generation_and_drains_old(index_path):
+    registry = IndexRegistry()
+    registry.mount("default", index_path)
+    with registry.lease("default") as mount:
+        before = mount.index.query("//article/author")
+
+    # Hold a lease on generation 1 while the reload happens in another
+    # thread: the reload must swap immediately but only close the old
+    # generation after the lease is released.
+    lease = registry.lease("default")
+    old_mount = lease.__enter__()
+    done = threading.Event()
+    outcome = {}
+
+    def reloader():
+        outcome["generation"] = registry.reload("default", timeout=10.0)
+        done.set()
+
+    thread = threading.Thread(target=reloader)
+    thread.start()
+    # New queries see generation 2 while the old lease is still alive.
+    deadline_guard = 0
+    while registry.describe()["default"]["generation"] != 2:
+        deadline_guard += 1
+        assert deadline_guard < 10_000
+    assert not done.is_set()
+    # The leased old generation still answers identically: its pages
+    # cannot be closed under a live query.
+    assert old_mount.index.query("//article/author") == before
+    lease.__exit__(None, None, None)
+    thread.join(10.0)
+    assert done.is_set()
+    assert outcome["generation"] == 2
+
+    with registry.lease("default") as mount:
+        assert mount.generation == 2
+        assert mount.index.query("//article/author") == before
+    registry.close_all()
+
+
+def test_reload_times_out_but_keeps_new_generation_live(index_path):
+    registry = IndexRegistry()
+    registry.mount("default", index_path)
+    lease = registry.lease("default")
+    lease.__enter__()
+    with pytest.raises(ServeError, match="still has leases"):
+        registry.reload("default", timeout=0.05)
+    # The swap already happened; the stuck generation leaks, the new one
+    # serves.
+    with registry.lease("default") as mount:
+        assert mount.generation == 2
+    lease.__exit__(None, None, None)
+    registry.close_all()
+
+
+def test_reload_unknown_name_raises_keyerror(index_path):
+    registry = IndexRegistry()
+    with pytest.raises(KeyError):
+        registry.reload("nope")
+
+
+def test_health_caches_the_scrub_to_json_serialization(index_path):
+    registry = IndexRegistry()
+    registry.mount("default", index_path)
+    health = registry.health()["default"]
+    assert health["healthy"] is True
+    assert health["generation"] == 1
+    # The cached verdict is exactly the canonical ScrubReport.to_json
+    # of the mounted file -- the single serializer shared with
+    # `prix scrub --json` (docs/SERVING.md).
+    assert health["scrub"] == json.loads(scrub_path(index_path).to_json())
+    registry.close_all()
+
+
+def test_registry_stats_snapshot_per_mount(index_path):
+    registry = IndexRegistry()
+    registry.mount("default", index_path, backend="file")
+    with registry.lease("default") as mount:
+        mount.index.query("//article/author")
+    stats = registry.stats()["default"]
+    assert stats["logical_reads"] > 0
+    assert stats["evictions"] == 0
+    registry.close_all()
+
+
+# --------------------------------------------------------------- admission
+
+def test_admit_forks_a_fresh_budget_per_request():
+    template = QueryBudget(max_candidates=5, deadline_seconds=1.0)
+    admission = AdmissionController(ServerLimits(budget=template))
+    with admission.admit() as first:
+        with admission.admit() as second:
+            assert first == template
+            assert first is not template
+            assert first is not second
+            assert admission.inflight() == 2
+    assert admission.inflight() == 0
+
+
+def test_admit_rejects_over_capacity_without_leaking_slots():
+    admission = AdmissionController(ServerLimits(max_inflight=1))
+    gate = admission.admit()
+    gate.__enter__()
+    with pytest.raises(ProtocolError) as caught:
+        with admission.admit():
+            pass
+    assert caught.value.code == "over-capacity"
+    assert caught.value.http_status == 503
+    gate.__exit__(None, None, None)
+    # The rejected request must not have consumed the freed slot.
+    with admission.admit():
+        assert admission.inflight() == 1
+
+
+def test_draining_rejects_new_queries_and_wait_drains():
+    admission = AdmissionController()
+    gate = admission.admit()
+    gate.__enter__()
+    admission.begin_drain()
+    with pytest.raises(ProtocolError) as caught:
+        with admission.admit():
+            pass
+    assert caught.value.code == "draining"
+    assert not admission.wait_drained(timeout=0.05)  # one still running
+    gate.__exit__(None, None, None)
+    assert admission.wait_drained(timeout=5.0)
+    assert admission.inflight() == 0
+
+
+def test_budget_fork_is_a_fresh_meter_with_same_limits():
+    budget = QueryBudget(max_range_queries=2, max_physical_reads=3,
+                         max_candidates=4, deadline_seconds=5.0)
+    fork = budget.fork()
+    assert fork == budget and fork is not budget
+    assert QueryBudget().fork().unlimited
+
+
+# ----------------------------------------------------------------- metrics
+
+def test_metrics_counters_accumulate_per_endpoint():
+    metrics = ServerMetrics()
+    metrics.observe("/query", 0.002)
+    metrics.observe("/query", 0.010, degraded=True)
+    metrics.observe("/query", 0.001, error_code="over-capacity",
+                    rejected=True)
+    metrics.observe("/healthz", 0.0005)
+    metrics.set_inflight(3)
+
+    snap = metrics.snapshot()
+    assert snap["inflight"] == 3
+    query = snap["endpoints"]["/query"]
+    assert query["requests"] == 3
+    assert query["degraded"] == 1
+    assert query["rejected"] == 1
+    assert query["errors"] == {"over-capacity": 1}
+    assert query["latency_seconds_max"] == pytest.approx(0.010)
+    assert query["latency_seconds_total"] == pytest.approx(0.013)
+    assert snap["endpoints"]["/healthz"]["requests"] == 1
+    assert snap["uptime_seconds"] >= 0

@@ -206,3 +206,56 @@ class TestMmapServing:
                 served.insert_document(fresh)
         finally:
             served.close()
+
+
+class TestArenaServing:
+    def test_open_backend_arena_kind_is_a_detached_snapshot(self, tmp_path):
+        path = tmp_path / "pages.db"
+        writer = FilePagerBackend.open(str(path), page_size=64)
+        pid, _ = writer.new_page()
+        writer.put(pid, b"\x42" * 64)
+        writer.close()
+        served = open_backend(str(path), 64, kind="arena")
+        try:
+            assert isinstance(served, InMemoryArenaBackend)
+            assert served.kind == "arena"
+            # The snapshot is detached: the source file can vanish and
+            # every page still answers from process memory.
+            path.unlink()
+            assert bytes(served.get(pid)) == b"\x42" * 64
+        finally:
+            served.close()
+
+    def test_open_backend_arena_refuses_durable(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        FilePagerBackend.open(path, page_size=64).close()
+        with pytest.raises(ReadOnlyBackendError) as caught:
+            open_backend(path, 64, kind="arena", durable=True)
+        assert "cannot attach a write-ahead log" in str(caught.value)
+
+    def test_open_backend_rejects_unknown_kind(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        FilePagerBackend.open(path, page_size=64).close()
+        with pytest.raises(ValueError,
+                           match="expected 'file', 'arena' or 'mmap'"):
+            open_backend(path, 64, kind="carrier-pigeon")
+
+    def test_arena_index_answers_identically(self, tmp_path):
+        corpus = dblp(120)
+        path = str(tmp_path / "prix.idx")
+        built = PrixIndex.build(corpus.documents, IndexOptions(path=path))
+        want = {}
+        for xpath in QUERIES:
+            want[xpath] = {(m.doc_id, m.canonical)
+                           for m in built.query(xpath)}
+        built.save()
+        built.close()
+        served = PrixIndex.open(path, backend="arena")
+        try:
+            assert isinstance(served._pool, InMemoryArenaBackend)
+            for xpath, expected in want.items():
+                got = {(m.doc_id, m.canonical)
+                       for m in served.query(xpath)}
+                assert got == expected, xpath
+        finally:
+            served.close()

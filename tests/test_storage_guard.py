@@ -341,6 +341,23 @@ class TestScrub:
         assert as_dict["pages_total"] == 1
         assert as_dict["healthy"] is True
 
+    def test_report_to_json_is_the_canonical_as_dict(self):
+        """Regression for the single-serializer contract: both
+        `prix scrub --json` and the serve tier's /healthz emit exactly
+        this string, so its shape is pinned here."""
+        import json
+        pager, guard = guarded_pager()
+        pager.write(pager.allocate(), fill(0x11))
+        report = scrub(pager)
+        text = report.to_json()
+        assert json.loads(text) == json.loads(
+            json.dumps(report.as_dict()))
+        # Canonical: sorted keys, deterministic across calls.
+        assert text == report.to_json()
+        assert list(json.loads(text)) == sorted(json.loads(text))
+        # indent= feeds the CLI's pretty mode without changing content.
+        assert json.loads(report.to_json(indent=2)) == json.loads(text)
+
 
 class TestAccountingInvariance:
     def test_guard_never_touches_physical_counters(self):
