@@ -83,6 +83,7 @@ from contextlib import contextmanager
 from repro.storage import latch as latch_module
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.errors import PinProtocolError
+from repro.storage.faults import ChaosBackend
 from repro.storage.pager import Pager
 from repro.storage.stats import IOStats
 
@@ -97,7 +98,7 @@ class SanitizeError(AssertionError):
 
 
 #: Classes whose ``_GUARDED`` maps get descriptor enforcement.
-_GUARDED_CLASSES = (BufferPool, Pager, IOStats)
+_GUARDED_CLASSES = (BufferPool, Pager, IOStats, ChaosBackend)
 
 #: Additional ``_GUARDED`` classes registered at import time by layers
 #: the sanitizer must not import itself (the serving tier lives *above*

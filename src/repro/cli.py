@@ -238,6 +238,27 @@ def _cmd_serve(args):
     return run(args)
 
 
+def _cmd_client(args):
+    from repro.serve.client import ClientError, PrixServeClient
+    import json
+    client = PrixServeClient(args.url, retries=args.retries,
+                             timeout=args.timeout, seed=args.retry_seed)
+    try:
+        result = client.query(args.xpath, index=args.index,
+                              ordered=args.ordered, variant=args.variant,
+                              use_maxgap=not args.no_maxgap,
+                              limit=args.limit,
+                              deadline_ms=args.deadline_ms)
+    except ClientError as error:
+        # The typed hierarchy mirrors repro.exitcodes, so the process
+        # exit status matches what the equivalent local 'prix query'
+        # would have returned for the same failure.
+        print(f"error [{type(error).__name__}]: {error}", file=sys.stderr)
+        return error.exit_code
+    print(json.dumps(result, sort_keys=True, indent=2))
+    return 0
+
+
 def _cmd_stats(args):
     index = PrixIndex.open(args.index, backend=args.backend)
     try:
@@ -361,6 +382,38 @@ def make_parser():
     from repro.serve.server import add_serve_arguments
     add_serve_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    client_cmd = commands.add_parser(
+        "client", help="query a running 'prix serve' over HTTP with "
+                       "retry/backoff and typed errors (see "
+                       "docs/ROBUSTNESS.md)")
+    client_cmd.add_argument("url",
+                            help="server base URL, e.g. "
+                                 "http://127.0.0.1:8399")
+    client_cmd.add_argument("xpath", help="XPath-subset twig query")
+    client_cmd.add_argument("--index", default="default",
+                            help="mount name to query (default: default)")
+    client_cmd.add_argument("--ordered", action="store_true",
+                            help="match the twig's branch order only")
+    client_cmd.add_argument("--variant", choices=["rp", "ep"],
+                            help="force an index variant")
+    client_cmd.add_argument("--no-maxgap", action="store_true",
+                            help="disable Theorem 4 pruning")
+    client_cmd.add_argument("--limit", type=int, default=None,
+                            help="max matches in the response")
+    client_cmd.add_argument("--retries", type=int, default=5,
+                            help="max retries for retryable failures "
+                                 "(transport errors, 408/429/500/503)")
+    client_cmd.add_argument("--retry-seed", type=int, default=0,
+                            help="seed for the backoff jitter RNG "
+                                 "(deterministic, replayable)")
+    client_cmd.add_argument("--timeout", type=float, default=30.0,
+                            help="per-request socket timeout in seconds")
+    client_cmd.add_argument("--deadline-ms", type=float, default=None,
+                            metavar="MS",
+                            help="propagate this deadline to the server "
+                                 "via the X-Prix-Deadline-Ms header")
+    client_cmd.set_defaults(func=_cmd_client)
 
     recover = commands.add_parser(
         "recover", help="replay the committed write-ahead-log tail into "

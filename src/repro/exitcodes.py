@@ -16,3 +16,6 @@ EXIT_ERROR = 1
 EXIT_USAGE = 2
 #: Corruption: checksum failure, unrecoverable WAL, failed recovery.
 EXIT_CORRUPTION = 3
+#: Timeout: a request (or its client-side deadline) ran out of time
+#: before the work finished -- retryable, unlike a usage error.
+EXIT_TIMEOUT = 4

@@ -99,7 +99,7 @@ class QueryBudget:
                 and self.max_candidates is None
                 and self.deadline_seconds is None)
 
-    def fork(self):
+    def fork(self, deadline_seconds=None):
         """A fresh budget carrying the same limits.
 
         The serving path's minting operation: one server-wide
@@ -109,12 +109,21 @@ class QueryBudget:
         baseline.  The caps themselves are immutable, so the fork is a
         constructor call -- no flag re-parsing, no shared meter state
         between requests.
+
+        ``deadline_seconds`` lets a caller *tighten* the template's
+        wall-clock cap (the ``X-Prix-Deadline-Ms`` request header): the
+        fork's deadline is the minimum of the template's and the
+        caller's, so a request can never loosen the server-wide cap.
         """
+        deadline = self.deadline_seconds
+        if deadline_seconds is not None:
+            deadline = (deadline_seconds if deadline is None
+                        else min(deadline, deadline_seconds))
         return QueryBudget(
             max_range_queries=self.max_range_queries,
             max_physical_reads=self.max_physical_reads,
             max_candidates=self.max_candidates,
-            deadline_seconds=self.deadline_seconds)
+            deadline_seconds=deadline)
 
     def meter(self, io_stats=None, clock=time.monotonic):
         """Start enforcement: returns a :class:`BudgetMeter` whose

@@ -25,24 +25,53 @@ Modules:
   latch, old generation drained before close) and a cached
   ``scrub``-backed health report per generation.
 - :mod:`repro.serve.metrics` -- per-endpoint request/latency/
-  degradation counters behind the ``serve-metrics`` latch.
+  degradation counters (plus named operational events: circuit
+  transitions, generation leaks) behind the ``serve-metrics`` latch.
+- :mod:`repro.serve.breaker` -- the per-mount circuit breaker: a
+  closed/open/half-open state machine behind the ``serve-circuit``
+  latch that sheds requests against a mount whose reads keep failing
+  and re-scrubs before closing again.
+- :mod:`repro.serve.client` -- the retrying stdlib client: exponential
+  backoff with seeded full jitter, ``Retry-After`` honoured as a
+  floor, idempotent-only retries, and a typed :class:`ClientError`
+  hierarchy mirroring :mod:`repro.exitcodes`.
 - :mod:`repro.serve.server` -- the ``ThreadingHTTPServer`` front end,
-  endpoint dispatch, and graceful drain on SIGTERM.
+  endpoint dispatch, per-request socket timeouts (slow-loris defense),
+  ``X-Prix-Deadline-Ms`` deadline propagation, and graceful drain on
+  SIGTERM.
 - ``python -m repro.serve`` / ``prix serve`` -- the process entry
   points.
+
+The chaos matrix (``tests/test_chaos_matrix.py``) drives this whole
+stack over a fault-injecting storage backend
+(:class:`~repro.storage.faults.ChaosBackend`) and holds it to the
+robustness oracle: every response is byte-identical-correct, a typed
+error, or a sound ``approximate=True`` superset -- and the retrying
+client's view converges to the fault-free answers.
 """
 
 from repro.serve.admission import AdmissionController, ServerLimits
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import (ClientCorruptionError, ClientError,
+                                ClientTimeoutError, ClientUsageError,
+                                PrixServeClient, ServerUnavailableError)
 from repro.serve.metrics import ServerMetrics
 from repro.serve.protocol import ProtocolError, QueryRequest
 from repro.serve.registry import IndexRegistry, ServeError
 
 __all__ = [
     "AdmissionController",
+    "CircuitBreaker",
+    "ClientCorruptionError",
+    "ClientError",
+    "ClientTimeoutError",
+    "ClientUsageError",
     "IndexRegistry",
+    "PrixServeClient",
     "ProtocolError",
     "QueryRequest",
     "ServeError",
     "ServerLimits",
     "ServerMetrics",
+    "ServerUnavailableError",
 ]

@@ -33,7 +33,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.prix.budget import QueryBudget
-from repro.serve.protocol import ProtocolError
+from repro.serve.protocol import DEFAULT_RETRY_AFTER_SECONDS, ProtocolError
 from repro.storage import Latch
 
 #: Default concurrent-query cap; sized for a thread-per-request stdlib
@@ -92,32 +92,38 @@ class AdmissionController:
             return self._draining
 
     @contextmanager
-    def admit(self):  # prixeffect: declares=latch-acquire
+    def admit(self, deadline_ms=None):  # prixeffect: declares=latch-acquire
         """Admit one query for the duration of a ``with`` block.
 
         Yields the request's private
         :class:`~repro.prix.budget.QueryBudget` (a fork of the
-        server-wide template).  Raises a typed
+        server-wide template; ``deadline_ms`` -- the request's
+        ``X-Prix-Deadline-Ms`` header -- tightens the fork's wall-clock
+        cap but can never loosen the template's).  Raises a typed
         :class:`~repro.serve.protocol.ProtocolError` -- ``draining`` or
-        ``over-capacity`` -- when the request must be rejected; the
-        counter is only incremented on successful admission, so a
-        rejection never leaks capacity.
+        ``over-capacity``, both carrying a ``Retry-After`` hint -- when
+        the request must be rejected; the counter is only incremented on
+        successful admission, so a rejection never leaks capacity.
         """
         with self._latch:
             if self._draining:
                 raise ProtocolError(
                     "draining",
-                    "server is draining; no new queries are admitted")
+                    "server is draining; no new queries are admitted",
+                    retry_after=DEFAULT_RETRY_AFTER_SECONDS)
             if self._inflight >= self.limits.max_inflight:
                 raise ProtocolError(
                     "over-capacity",
                     f"server is at capacity "
                     f"({self.limits.max_inflight} queries in flight); "
-                    "retry later")
+                    "retry later",
+                    retry_after=DEFAULT_RETRY_AFTER_SECONDS)
             self._inflight += 1
             self._idle.clear()
         try:
-            yield self.limits.budget.fork()
+            yield self.limits.budget.fork(
+                deadline_seconds=(deadline_ms / 1000.0
+                                  if deadline_ms is not None else None))
         finally:
             with self._latch:
                 self._inflight -= 1

@@ -64,11 +64,13 @@ class ServerMetrics:
         self._endpoints = {}   # prixrace: guarded-by=_latch
         self._started = time.time()
         self._inflight = 0     # prixrace: guarded-by=_latch
+        self._events = {}      # prixrace: guarded-by=_latch
 
     #: Machine-readable twin of the ``guarded-by`` comments above; the
     #: runtime sanitizer installs guarded-access assertions from this
     #: mapping once the object is shared between threads.
-    _GUARDED = {"_endpoints": "_latch", "_inflight": "_latch"}
+    _GUARDED = {"_endpoints": "_latch", "_inflight": "_latch",
+                "_events": "_latch"}
 
     def _endpoint(self, name):  # prixrace: requires=_latch
         if name not in self._endpoints:
@@ -99,6 +101,17 @@ class ServerMetrics:
             if rejected:
                 stats.rejected += 1
 
+    def record_event(self, name):  # prixeffect: declares=latch-acquire
+        """Count one named operational event (circuit transitions,
+        generation leaks, ...) -- the breaker's ``on_event`` sink.
+
+        Callers must not hold any other serve latch: ``serve-metrics``
+        stays a leaf, which is why the circuit breaker emits events only
+        after releasing ``serve-circuit``.
+        """
+        with self._latch:
+            self._events[name] = self._events.get(name, 0) + 1
+
     def set_inflight(self, value):  # prixeffect: declares=latch-acquire
         """Update the in-flight gauge (admission controller only)."""
         with self._latch:
@@ -121,6 +134,7 @@ class ServerMetrics:
             return {
                 "uptime_seconds": round(time.time() - self._started, 3),
                 "inflight": self._inflight,
+                "events": dict(sorted(self._events.items())),
                 "endpoints": {name: stats.as_dict()
                               for name, stats in
                               sorted(self._endpoints.items())},

@@ -28,7 +28,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
-from repro.exitcodes import EXIT_CORRUPTION, EXIT_ERROR, EXIT_USAGE
+from repro.exitcodes import (EXIT_CORRUPTION, EXIT_ERROR, EXIT_TIMEOUT,
+                             EXIT_USAGE)
 from repro.prix.budget import BudgetExceededError
 from repro.storage.errors import (CorruptionError, ReadOnlyBackendError,
                                   StorageError, WalError)
@@ -44,12 +45,25 @@ ERROR_KINDS = {
     "not-found": (404, EXIT_USAGE),
     "method-not-allowed": (405, EXIT_USAGE),
     "read-only": (403, EXIT_ERROR),
+    "request-timeout": (408, EXIT_TIMEOUT),
     "budget-exhausted": (429, EXIT_ERROR),
     "over-capacity": (503, EXIT_ERROR),
     "draining": (503, EXIT_ERROR),
+    "circuit-open": (503, EXIT_ERROR),
     "corruption": (500, EXIT_CORRUPTION),
     "internal": (500, EXIT_ERROR),
 }
+
+#: Default ``Retry-After`` hint (seconds) on retryable rejections whose
+#: backoff has no better-informed horizon (the circuit breaker computes
+#: its own from the remaining cooldown).
+DEFAULT_RETRY_AFTER_SECONDS = 1
+
+#: Request header carrying the client's deadline in milliseconds; the
+#: server propagates it into the query's budget fork
+#: (:meth:`repro.prix.budget.QueryBudget.fork`), where it can tighten
+#: -- never loosen -- the server-wide wall-clock cap.
+DEADLINE_HEADER = "X-Prix-Deadline-Ms"
 
 
 def dumps(payload):
@@ -68,10 +82,15 @@ class ProtocolError(Exception):
     Raised anywhere in the serving path (parsing, admission, registry
     lookup); the handler catches it and answers with :attr:`http_status`
     and :meth:`body`.  ``detail`` is an optional JSON-ready object
-    (e.g. a serialized ``DegradationReason``).
+    (e.g. a serialized ``DegradationReason``).  ``retry_after`` (whole
+    seconds) marks the rejection as retryable: it rides in the body and
+    the handler emits it as an HTTP ``Retry-After`` header, which the
+    retrying client (:mod:`repro.serve.client`) honours as a backoff
+    floor.
     """
 
-    def __init__(self, code, message, detail=None, error_type=None):
+    def __init__(self, code, message, detail=None, error_type=None,
+                 retry_after=None):
         if code not in ERROR_KINDS:
             raise ValueError(f"unknown protocol error code {code!r}")
         super().__init__(message)
@@ -79,6 +98,7 @@ class ProtocolError(Exception):
         self.message = message
         self.detail = detail
         self.error_type = error_type or type(self).__name__
+        self.retry_after = retry_after
 
     @property
     def http_status(self):
@@ -99,6 +119,8 @@ class ProtocolError(Exception):
         }
         if self.detail is not None:
             error["detail"] = self.detail
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
         return {"ok": False, "error": error}
 
 
@@ -115,11 +137,18 @@ def error_for_exception(error):
     if isinstance(error, BudgetExceededError):
         return ProtocolError(
             "budget-exhausted", str(error),
-            detail=error.reason.as_dict(), error_type=name)
+            detail=error.reason.as_dict(), error_type=name,
+            retry_after=DEFAULT_RETRY_AFTER_SECONDS)
     if isinstance(error, ReadOnlyBackendError):
         return ProtocolError("read-only", str(error), error_type=name)
     if isinstance(error, (CorruptionError, WalError)):
         return ProtocolError("corruption", str(error), error_type=name)
+    if isinstance(error, TimeoutError):
+        # Before the OSError arm: socket timeouts subclass OSError but
+        # deserve their own typed (and retryable) rejection.
+        return ProtocolError("request-timeout", str(error) or "timed out",
+                             error_type=name,
+                             retry_after=DEFAULT_RETRY_AFTER_SECONDS)
     if isinstance(error, FileNotFoundError):
         missing = error.filename if error.filename else str(error)
         return ProtocolError("not-found", f"missing file: {missing}",

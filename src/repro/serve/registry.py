@@ -58,29 +58,34 @@ class ServeError(RuntimeError):
 class _Mount:
     """One mounted index generation.
 
-    ``index``, ``path``, ``backend`` and ``generation`` are immutable
-    after construction; the mutable lease/retire state is guarded by the
-    owning registry's ``serve-registry`` latch (shared via ``_latch``).
+    ``index``, ``path``, ``backend``, ``chaos`` and ``generation`` are
+    immutable after construction; the mutable lease/retire/health state
+    is guarded by the owning registry's ``serve-registry`` latch (shared
+    via ``_latch``).  ``health_json`` is mutable because a circuit
+    breaker's half-open probe re-scrubs the mount
+    (:meth:`IndexRegistry.rescrub`) and refreshes the cached verdict.
     No ``__slots__``: the sanitizer's guarded-field descriptors store
     through ``__dict__``.
     """
 
     #: Machine-readable guarded-field map (runtime sanitizer); the latch
     #: is the *registry's* -- every mount of a registry shares it.
-    _GUARDED = {"leases": "_latch", "retired": "_latch"}
+    _GUARDED = {"leases": "_latch", "retired": "_latch",
+                "health_json": "_latch"}
 
     def __init__(self, name, path, backend, generation, index,
-                 health_json, registry_latch):
+                 health_json, registry_latch, chaos=None):
         self.name = name
         self.path = path
         self.backend = backend
         self.generation = generation
         self.index = index
-        self.health_json = health_json
+        self.chaos = chaos
         self._latch = registry_latch
         with registry_latch:
             self.leases = 0    # prixrace: guarded-by=_latch
             self.retired = False  # prixrace: guarded-by=_latch
+            self.health_json = health_json  # prixrace: guarded-by=_latch
         self.drained = threading.Event()
 
 
@@ -90,40 +95,48 @@ class IndexRegistry:
     def __init__(self, drain_timeout=DEFAULT_DRAIN_TIMEOUT):
         self._latch = Latch("serve-registry")
         self._mounts = {}  # prixrace: guarded-by=_latch
+        self._leaked = []  # prixrace: guarded-by=_latch
         self.drain_timeout = drain_timeout
 
-    #: Machine-readable twin of the ``guarded-by`` comment above.
-    _GUARDED = {"_mounts": "_latch"}
+    #: Machine-readable twin of the ``guarded-by`` comments above.
+    _GUARDED = {"_mounts": "_latch", "_leaked": "_latch"}
 
     def _open_generation(self, name, path, backend, generation,
-                         pool_pages):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+                         pool_pages, chaos=None):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
         """Scrub ``path``, open it read-shared, build the mount record.
 
         The scrub runs *before* the open so the cached health verdict
         describes exactly the bytes this generation serves, and so the
         checksum sidecar it materializes is already present for the
-        open's guard auto-detection.
+        open's guard auto-detection.  ``chaos`` (a
+        :class:`~repro.storage.faults.ChaosConfig`) wraps the
+        generation's backend in a fault-injecting
+        :class:`~repro.storage.faults.ChaosBackend` -- the chaos-matrix
+        harness's hook, never set in production serving.
         """
         report = scrub_path(path)
         index = PrixIndex.open(path, backend=backend,
-                               pool_pages=pool_pages)
+                               pool_pages=pool_pages, chaos=chaos)
         return _Mount(name, path, backend, generation, index,
-                      report.to_json(), self._latch)
+                      report.to_json(), self._latch, chaos=chaos)
 
     def mount(self, name, path, *, backend="mmap",
-              pool_pages=None):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+              pool_pages=None, chaos=None):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
         """Open ``path`` and serve it as ``name``.
 
         ``backend`` is any :func:`repro.storage.open_backend` kind --
         ``"mmap"`` (the serving default), ``"file"`` or ``"arena"``.
         Mounting an already-mounted name is a :class:`ServeError`; use
-        :meth:`reload` to replace a generation.
+        :meth:`reload` to replace a generation.  ``chaos`` injects
+        deterministic read faults into every generation of this mount
+        (chaos testing only; see ``docs/ROBUSTNESS.md``).
         """
         with self._latch:
             if name in self._mounts:
                 raise ServeError(f"index {name!r} is already mounted; "
                                  "use reload to replace it")
-        mount = self._open_generation(name, path, backend, 1, pool_pages)
+        mount = self._open_generation(name, path, backend, 1, pool_pages,
+                                      chaos)
         with self._latch:
             if name in self._mounts:  # lost a mount race
                 racer = True
@@ -144,14 +157,17 @@ class IndexRegistry:
         drain before closing it.  Returns the new generation number.
         Unknown names raise ``KeyError`` (a typed ``not-found`` on the
         wire); a drain that exceeds ``timeout`` raises
-        :class:`ServeError` -- the new generation stays live either way.
+        :class:`ServeError` -- the new generation stays live either way,
+        and the stuck old generation is recorded in the :meth:`leaked`
+        ledger (visible under ``/metrics``) until its last lease finally
+        releases it, at which point :meth:`_release` closes it.
         """
         with self._latch:
             if name not in self._mounts:
                 raise KeyError(f"no index mounted as {name!r}")
             old = self._mounts[name]
         fresh = self._open_generation(name, old.path, old.backend,
-                                      old.generation + 1, None)
+                                      old.generation + 1, None, old.chaos)
         with self._latch:
             self._mounts[name] = fresh
             old.retired = True
@@ -161,6 +177,17 @@ class IndexRegistry:
         if timeout is None:
             timeout = self.drain_timeout
         if not old.drained.wait(timeout):
+            with self._latch:
+                # Re-check under the latch: the last lease may have
+                # drained between the wait timing out and this instant,
+                # in which case the old generation is safe to close now
+                # rather than leak.
+                stuck = old.leases > 0
+                if stuck:
+                    self._leaked.append(old)
+            if not stuck:
+                old.index.close()
+                return fresh.generation
             raise ServeError(
                 f"reload of {name!r}: generation {old.generation} still "
                 f"has leases after {timeout:.1f}s; it stays open and "
@@ -186,12 +213,50 @@ class IndexRegistry:
             mount.leases += 1
         return _Lease(self, mount)
 
-    def _release(self, mount):  # prixeffect: declares=latch-acquire
+    def _release(self, mount):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate
+        """Return one lease; the last release of a leaked generation
+        also closes it (the reload that retired it already gave up
+        waiting, so nobody else will).
+        """
         with self._latch:
             mount.leases -= 1
             fire = mount.retired and mount.leases == 0
+            reap = fire and mount in self._leaked
+            if reap:
+                self._leaked.remove(mount)
         if fire:
             mount.drained.set()
+        if reap:
+            mount.index.close()
+
+    def leaked(self):  # prixeffect: declares=latch-acquire
+        """JSON-ready ledger of generations stuck past their reload's
+        drain timeout (merged into ``GET /metrics``)."""
+        with self._latch:
+            return [{"name": mount.name,
+                     "generation": mount.generation,
+                     "leases": mount.leases}
+                    for mount in self._leaked]
+
+    def rescrub(self, name):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate
+        """Re-run the full scrub sweep for mount ``name`` and refresh
+        its cached ``/healthz`` verdict.
+
+        The circuit breaker's half-open probe calls this before closing
+        a circuit that opened on corruption: one lucky read proves
+        nothing, a clean sweep over every page does.  The sweep runs
+        outside the registry latch (it is O(file)); only the cached
+        verdict swap is latched.  Returns True when the mount's bytes
+        are healthy.  Unknown names raise ``KeyError``.
+        """
+        with self._latch:
+            mount = self._mounts.get(name)
+        if mount is None:
+            raise KeyError(f"no index mounted as {name!r}")
+        report = scrub_path(mount.path)
+        with self._latch:
+            mount.health_json = report.to_json()
+        return report.healthy
 
     def describe(self):  # prixeffect: declares=latch-acquire
         """JSON-ready mount table (the ``GET /indexes`` body)."""
@@ -247,8 +312,9 @@ class IndexRegistry:
     def close_all(self):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
         """Close every mount (shutdown path; callers drain first)."""
         with self._latch:
-            mounts = list(self._mounts.values())
+            mounts = list(self._mounts.values()) + list(self._leaked)
             self._mounts = {}
+            self._leaked = []
         for mount in mounts:
             mount.index.close()
 

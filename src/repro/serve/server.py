@@ -22,6 +22,21 @@ Shutdown: SIGTERM (or SIGINT) triggers :meth:`PrixServeServer.drain` --
 stop admitting, wait for in-flight queries, stop accepting, close every
 mount.  The accept loop runs in a worker thread so the main thread can
 sit in ``signal``-interruptible waits.
+
+Hardening (``docs/ROBUSTNESS.md``, "Chaos & resilience"):
+
+- every connection gets a per-request **socket read timeout**
+  (``--request-timeout``), so a slow-loris client that trickles header
+  bytes gets a typed ``request-timeout`` (HTTP 408) and its thread
+  back, instead of parking a handler forever;
+- an ``X-Prix-Deadline-Ms`` request header **tightens** the query's
+  budget deadline (:meth:`QueryBudget.fork`) -- a client's deadline
+  propagates into the engine's cooperative cancellation checkpoints;
+- a per-mount **circuit breaker** (:mod:`repro.serve.breaker`) sheds
+  requests against a mount whose reads keep failing, and only closes
+  again after a half-open probe *and* a clean re-scrub;
+- retryable rejections carry an HTTP ``Retry-After`` header the
+  retrying client (:mod:`repro.serve.client`) uses as a backoff floor.
 """
 
 from __future__ import annotations
@@ -35,14 +50,21 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.serve import protocol
 from repro.serve.admission import (AdmissionController,
                                    DEFAULT_MAX_INFLIGHT, ServerLimits)
+from repro.serve.breaker import (CircuitBreaker, DEFAULT_COOLDOWN_SECONDS,
+                                 DEFAULT_FAILURE_THRESHOLD)
 from repro.serve.metrics import ServerMetrics
-from repro.serve.protocol import (ProtocolError, error_for_exception,
-                                  parse_query_request, result_payload)
+from repro.serve.protocol import (DEADLINE_HEADER, ProtocolError,
+                                  error_for_exception, parse_query_request,
+                                  result_payload)
 from repro.serve.registry import DEFAULT_DRAIN_TIMEOUT, IndexRegistry
 
 #: Request bodies larger than this are rejected outright (a twig query
 #: is a few hundred bytes; nothing legitimate approaches this).
 MAX_BODY_BYTES = 1 << 20
+
+#: Seconds a connection may sit idle mid-request (request line, headers
+#: or body) before the server answers 408 and reclaims the thread.
+DEFAULT_REQUEST_TIMEOUT = 30.0
 
 
 class PrixServeServer(ThreadingHTTPServer):
@@ -55,10 +77,14 @@ class PrixServeServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, registry, admission, metrics):
+    def __init__(self, address, registry, admission, metrics, *,
+                 breaker=None, request_timeout=DEFAULT_REQUEST_TIMEOUT):
         self.registry = registry
         self.admission = admission
         self.metrics = metrics
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            on_event=metrics.record_event)
+        self.request_timeout = request_timeout
         super().__init__(address, PrixRequestHandler)
 
     def drain(self, timeout=DEFAULT_DRAIN_TIMEOUT):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
@@ -87,16 +113,68 @@ class PrixRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "prix-serve"
 
+    #: Socket read timeout; :meth:`setup` overrides it per-connection
+    #: from the server's configuration and ``StreamRequestHandler``
+    #: applies it via ``connection.settimeout`` -- the slow-loris
+    #: defense (``docs/ROBUSTNESS.md``).
+    timeout = DEFAULT_REQUEST_TIMEOUT
+
     # ------------------------------------------------------------- plumbing
+
+    def setup(self):
+        self.timeout = self.server.request_timeout
+        self._timed_out = False
+        super().setup()
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         """Quiet the per-request stderr chatter; /metrics observes."""
 
-    def _respond(self, status, payload):
+    def log_error(self, format, *args):  # noqa: A002 - stdlib signature
+        """Detect the stdlib's request-line timeout.
+
+        ``BaseHTTPRequestHandler.handle_one_request`` swallows the
+        ``TimeoutError`` from a request line that never arrives and
+        reports it only through this hook; flagging it here lets
+        :meth:`handle_one_request` still answer with a typed 408
+        instead of silently dropping the connection.
+        """
+        if str(format).startswith("Request timed out"):
+            self._timed_out = True
+
+    def handle_one_request(self):
+        super().handle_one_request()
+        if getattr(self, "_timed_out", False):
+            self._timed_out = False
+            self._respond_timeout()
+
+    def _respond_timeout(self):
+        """Answer a request-line timeout with a typed 408 and hang up."""
+        # The timeout fired before request parsing: the attributes the
+        # stdlib response machinery logs from may not exist yet.
+        for attr, default in (("requestline", ""), ("command", ""),
+                              ("request_version", "HTTP/1.1")):
+            if not getattr(self, attr, None):
+                setattr(self, attr, default)
+        typed = ProtocolError(
+            "request-timeout",
+            f"no complete request within {self.timeout:.1f}s",
+            retry_after=protocol.DEFAULT_RETRY_AFTER_SECONDS)
+        self.server.metrics.observe("(request-line)", float(self.timeout),
+                                    error_code=typed.code)
+        self.close_connection = True
+        try:
+            self._respond(typed.http_status, typed.body(),
+                          retry_after=typed.retry_after)
+        except OSError:
+            pass  # the client may already be gone; the thread is free
+
+    def _respond(self, status, payload, retry_after=None):
         body = protocol.dumps(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
@@ -125,18 +203,24 @@ class PrixRequestHandler(BaseHTTPRequestHandler):
         error_code = None
         degraded = False
         rejected = False
+        retry_after = None
         try:
             status, payload = work()
             degraded = bool(payload.get("approximate"))
         except Exception as error:  # noqa: BLE001 - boundary by design
             typed = error_for_exception(error)
             error_code = typed.code
+            retry_after = typed.retry_after
             rejected = typed.code in ("over-capacity", "draining")
             status, payload = typed.http_status, typed.body()
+            if typed.code == "request-timeout":
+                # A body read timed out mid-request: the connection's
+                # framing is unrecoverable, so answer and hang up.
+                self.close_connection = True
         self.server.metrics.observe(
             endpoint, time.perf_counter() - started,
             error_code=error_code, degraded=degraded, rejected=rejected)
-        self._respond(status, payload)
+        self._respond(status, payload, retry_after=retry_after)
 
     # ------------------------------------------------------------ endpoints
 
@@ -173,23 +257,56 @@ class PrixRequestHandler(BaseHTTPRequestHandler):
             "method-not-allowed",
             f"{self.command} is not allowed on {self.path}")
 
-    def _query(self):  # prixeffect: declares=pager-io,wal-io,latch-acquire,stats-mutate
-        """``POST /query``: admit, lease, execute, serialize.
+    def _deadline_ms(self):
+        """Parse the optional ``X-Prix-Deadline-Ms`` request header."""
+        raw = self.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ProtocolError(
+                "bad-request",
+                f"header {DEADLINE_HEADER} must be a number of "
+                f"milliseconds, got {raw!r}")
+        if value <= 0:
+            raise ProtocolError(
+                "bad-request",
+                f"header {DEADLINE_HEADER} must be > 0, got {raw!r}")
+        return value
 
-        The admission fork gives this request its own budget meter; the
-        lease pins the mount's generation for exactly the query's
-        lifetime, so a concurrent ``/reload`` can never close the pages
-        under a running matcher.
+    def _query(self):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate
+        """``POST /query``: gate, admit, lease, execute, serialize.
+
+        The circuit breaker gate runs first (an open circuit sheds the
+        request before it costs an admission slot); the admission fork
+        gives this request its own budget meter, tightened by the
+        request's ``X-Prix-Deadline-Ms`` header when present; the lease
+        pins the mount's generation for exactly the query's lifetime,
+        so a concurrent ``/reload`` can never close the pages under a
+        running matcher.  Every outcome is reported back to the breaker
+        -- including the half-open probe's, whose success triggers the
+        registry re-scrub (the declared ``raw-io`` upper bound) before
+        the circuit closes.
         """
         request = parse_query_request(self._read_body())
+        deadline_ms = self._deadline_ms()
         server = self.server
-        with server.admission.admit() as budget:
-            with server.registry.lease(request.index) as mount:
-                matches, stats = mount.index.query_with_stats(
-                    request.xpath, ordered=request.ordered,
-                    variant=request.variant,
-                    use_maxgap=request.use_maxgap, budget=budget)
-                generation = mount.generation
+        probe = server.breaker.allow(request.index)
+        try:
+            with server.admission.admit(deadline_ms=deadline_ms) as budget:
+                with server.registry.lease(request.index) as mount:
+                    matches, stats = mount.index.query_with_stats(
+                        request.xpath, ordered=request.ordered,
+                        variant=request.variant,
+                        use_maxgap=request.use_maxgap, budget=budget)
+                    generation = mount.generation
+        except Exception as error:
+            server.breaker.record(request.index, probe=probe, error=error)
+            raise
+        server.breaker.record(
+            request.index, probe=probe,
+            rescrub=lambda: server.registry.rescrub(request.index))
         return 200, result_payload(request, matches, stats, generation)
 
     def _reload(self):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
@@ -226,6 +343,8 @@ class PrixRequestHandler(BaseHTTPRequestHandler):
         body = self.server.metrics.snapshot()
         body["ok"] = True
         body["storage"] = self.server.registry.stats()
+        body["circuit"] = self.server.breaker.snapshot()
+        body["leaked_generations"] = self.server.registry.leaked()
         body["admission"] = {
             "inflight": self.server.admission.inflight(),
             "max_inflight": self.server.admission.limits.max_inflight,
@@ -241,18 +360,29 @@ class PrixRequestHandler(BaseHTTPRequestHandler):
 
 def build_server(mounts, *, host="127.0.0.1", port=0, backend="mmap",
                  pool_pages=None, limits=None,
-                 drain_timeout=DEFAULT_DRAIN_TIMEOUT):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
+                 drain_timeout=DEFAULT_DRAIN_TIMEOUT, chaos=None,
+                 request_timeout=DEFAULT_REQUEST_TIMEOUT,
+                 circuit_threshold=DEFAULT_FAILURE_THRESHOLD,
+                 circuit_cooldown=DEFAULT_COOLDOWN_SECONDS):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page
     """Mount every ``(name, path)`` and return a bound, unstarted server.
 
     ``port=0`` binds an ephemeral port (tests and the CI smoke job read
-    it back from ``server.server_address``).
+    it back from ``server.server_address``).  ``chaos`` (a
+    :class:`~repro.storage.faults.ChaosConfig`) wraps every mount's
+    backend in deterministic fault injection -- the chaos matrix's
+    entry point, never set in production.
     """
     registry = IndexRegistry(drain_timeout=drain_timeout)
     for name, path in mounts:
-        registry.mount(name, path, backend=backend, pool_pages=pool_pages)
+        registry.mount(name, path, backend=backend, pool_pages=pool_pages,
+                       chaos=chaos)
     admission = AdmissionController(limits or ServerLimits())
     metrics = ServerMetrics()
-    return PrixServeServer((host, port), registry, admission, metrics)
+    breaker = CircuitBreaker(threshold=circuit_threshold,
+                             cooldown_seconds=circuit_cooldown,
+                             on_event=metrics.record_event)
+    return PrixServeServer((host, port), registry, admission, metrics,
+                           breaker=breaker, request_timeout=request_timeout)
 
 
 def serve_until_signaled(server, *, signals=(signal.SIGTERM, signal.SIGINT),
@@ -327,6 +457,44 @@ def add_serve_arguments(parser):
                         default=DEFAULT_DRAIN_TIMEOUT,
                         help="seconds to wait for in-flight queries on "
                              "shutdown and reload")
+    parser.add_argument("--request-timeout", type=float,
+                        default=DEFAULT_REQUEST_TIMEOUT, metavar="S",
+                        help="socket read timeout per request; a stalled "
+                             "client gets a typed 408 (slow-loris "
+                             "defense)")
+    parser.add_argument("--circuit-threshold", type=int,
+                        default=DEFAULT_FAILURE_THRESHOLD, metavar="N",
+                        help="consecutive corruption/internal errors that "
+                             "open a mount's circuit")
+    parser.add_argument("--circuit-cooldown", type=float,
+                        default=DEFAULT_COOLDOWN_SECONDS, metavar="S",
+                        help="seconds an open circuit rejects before its "
+                             "half-open probe")
+    chaos = parser.add_argument_group(
+        "chaos", "deterministic fault injection (testing only; see "
+                 "docs/ROBUSTNESS.md)")
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="arm the chaos backend with this seed "
+                            "(required for any other --chaos-* flag)")
+    chaos.add_argument("--chaos-read-error-period", type=int, default=None,
+                       metavar="N",
+                       help="inject a transient read error roughly every "
+                            "N read ops")
+    chaos.add_argument("--chaos-latency-period", type=int, default=None,
+                       metavar="N",
+                       help="inject read latency roughly every N read ops")
+    chaos.add_argument("--chaos-latency-ms", type=float, default=1.0,
+                       metavar="MS",
+                       help="injected latency per latency fault")
+    chaos.add_argument("--chaos-corrupt-period", type=int, default=None,
+                       metavar="N",
+                       help="serve a checksum-corrupted page image "
+                            "roughly every N read ops (exercises the "
+                            "guard's read-repair path)")
+    chaos.add_argument("--chaos-fail-first", type=int, default=0,
+                       metavar="N",
+                       help="fail the first N read ops, then heal")
     return parser
 
 
@@ -347,8 +515,28 @@ def run(args):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stat
         max_candidates=args.budget_candidates,
         deadline_seconds=(args.budget_ms / 1000.0
                           if args.budget_ms is not None else None))
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.storage import ChaosConfig
+        chaos = ChaosConfig(
+            seed=args.chaos_seed,
+            read_error_period=args.chaos_read_error_period,
+            latency_period=args.chaos_latency_period,
+            latency_ms=args.chaos_latency_ms,
+            corrupt_period=args.chaos_corrupt_period,
+            fail_first=args.chaos_fail_first)
+    elif (args.chaos_read_error_period is not None
+            or args.chaos_latency_period is not None
+            or args.chaos_corrupt_period is not None
+            or args.chaos_fail_first):
+        print("error: --chaos-* flags require --chaos-seed",
+              file=sys.stderr)
+        return 2
     server = build_server(
         mounts, host=args.host, port=args.port, backend=args.backend,
         pool_pages=args.pool_pages, limits=limits,
-        drain_timeout=args.drain_timeout)
+        drain_timeout=args.drain_timeout, chaos=chaos,
+        request_timeout=args.request_timeout,
+        circuit_threshold=args.circuit_threshold,
+        circuit_cooldown=args.circuit_cooldown)
     return serve_until_signaled(server)

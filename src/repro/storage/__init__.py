@@ -45,9 +45,10 @@ from repro.storage.errors import (BufferPoolExhaustedError, CorruptionError,
                                   PageRangeError, PageSizeError,
                                   PinProtocolError, ReadOnlyBackendError,
                                   StorageError, SuperblockError,
-                                  WalCorruptionError, WalError,
-                                  WalProtocolError)
-from repro.storage.faults import (CrashPoint, FaultSchedule, FaultyFile,
+                                  TransientStorageError, WalCorruptionError,
+                                  WalError, WalProtocolError)
+from repro.storage.faults import (ChaosBackend, ChaosConfig, ChaosSchedule,
+                                  CrashPoint, FaultSchedule, FaultyFile,
                                   corruption_plan, inject_corruption)
 from repro.storage.guard import (PageGuard, ScrubReport, scrub, scrub_path,
                                  wal_repair_source)
@@ -66,6 +67,9 @@ __all__ = [
     "BPlusTree",
     "BufferPool",
     "BufferPoolExhaustedError",
+    "ChaosBackend",
+    "ChaosConfig",
+    "ChaosSchedule",
     "CorruptionError",
     "CrashPoint",
     "DEFAULT_PAGE_SIZE",
@@ -94,6 +98,7 @@ __all__ = [
     "StorageBackend",
     "StorageError",
     "SuperblockError",
+    "TransientStorageError",
     "WalCorruptionError",
     "WalError",
     "WalProtocolError",

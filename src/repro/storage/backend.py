@@ -391,7 +391,7 @@ def recover_backend(path, wal_path, guard_path=None):
 
 def open_backend(path, page_size, pool_pages=None, kind="file",
                  durable=False, wal_path=None, wal_sync=SYNC_COMMIT,
-                 guard=False, guard_path=None):
+                 guard=False, guard_path=None, chaos=None):
     """Reattach wiring for a saved index whose page size is known.
 
     ``kind="file"`` reopens the writable production stack (optionally
@@ -402,6 +402,12 @@ def open_backend(path, page_size, pool_pages=None, kind="file",
     are served from RAM, :meth:`InMemoryArenaBackend.preload`);
     attaching a WAL there is equally refused because changes to a
     snapshot can never reach the index file.
+
+    ``chaos`` (a :class:`~repro.storage.faults.ChaosConfig`) wraps the
+    opened backend in a :class:`~repro.storage.faults.ChaosBackend`
+    injecting seeded read faults -- the serving tier's chaos mode.
+    With ``chaos=None`` (the default) no wrapper exists at all, so the
+    "Disk IO pages" accounting is exactly the unwrapped backend's.
     """
     if guard_path is None:
         guard_path = path + ".sum"
@@ -411,16 +417,18 @@ def open_backend(path, page_size, pool_pages=None, kind="file",
             raise ReadOnlyBackendError(
                 "the mmap backend is read-only; it cannot attach a "
                 "write-ahead log")
-        return MmapBackend(path, page_size=page_size,
-                           pool_pages=pool_pages, guard=page_guard)
+        backend = MmapBackend(path, page_size=page_size,
+                              pool_pages=pool_pages, guard=page_guard)
+        return _wrap_chaos(backend, chaos)
     if kind == "arena":
         if durable:
             raise ReadOnlyBackendError(
                 "the arena backend opens a detached in-memory snapshot; "
                 "it cannot attach a write-ahead log")
-        return InMemoryArenaBackend.preload(path, page_size=page_size,
-                                            pool_pages=pool_pages,
-                                            guard=page_guard)
+        backend = InMemoryArenaBackend.preload(path, page_size=page_size,
+                                               pool_pages=pool_pages,
+                                               guard=page_guard)
+        return _wrap_chaos(backend, chaos)
     if kind != "file":
         raise ValueError(f"unknown storage backend {kind!r} for open "
                          "(expected 'file', 'arena' or 'mmap')")
@@ -433,7 +441,16 @@ def open_backend(path, page_size, pool_pages=None, kind="file",
         backend.attach_wal(WriteAheadLog.open(
             wal_path, page_size, stats=backend.stats,
             sync_policy=wal_sync))
-    return backend
+    return _wrap_chaos(backend, chaos)
+
+
+def _wrap_chaos(backend, chaos):
+    """Wrap ``backend`` in a :class:`ChaosBackend` when a config is
+    given; imported lazily so the fault injector stays optional."""
+    if chaos is None:
+        return backend
+    from repro.storage.faults import ChaosBackend
+    return ChaosBackend(backend, chaos)
 
 
 def recover_files(data_file, wal_file, guard_file=None,

@@ -98,6 +98,19 @@ class ReadOnlyBackendError(StorageError):
     """
 
 
+class TransientStorageError(StorageError):
+    """A read failed for a reason that is expected to heal on retry.
+
+    Raised by the chaos layer (:class:`repro.storage.faults.ChaosBackend`)
+    to model the environmental failures a networked or degraded disk
+    exhibits -- a dropped request, a device briefly offline, an I/O
+    retry-storm -- without tearing any durable state.  The serving tier
+    maps it to a typed 500 so a retrying client (``repro.serve.client``)
+    can tell "try again" apart from "the bytes are bad"
+    (:class:`CorruptionError`) and "you asked wrong" (``ValueError``).
+    """
+
+
 class CorruptionError(StorageError):
     """Base class for at-rest corruption detected by the checksum guard.
 

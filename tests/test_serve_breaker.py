@@ -1,0 +1,204 @@
+"""Unit tests for the per-mount circuit breaker (``repro.serve.breaker``).
+
+The clock is injected so every cooldown transition is deterministic:
+these tests walk the full closed -> open -> half-open -> closed/reopen
+state machine, pin the typed ``circuit-open`` rejection (with the
+remaining cooldown as ``Retry-After``), the single-probe discipline,
+and the scrub-before-close contract.
+"""
+
+import pytest
+
+from repro.serve.breaker import (DEFAULT_COOLDOWN_SECONDS,
+                                 DEFAULT_FAILURE_THRESHOLD, STATE_CLOSED,
+                                 STATE_HALF_OPEN, STATE_OPEN, TRIPPING_CODES,
+                                 CircuitBreaker)
+from repro.serve.protocol import ProtocolError
+from repro.storage.errors import PageCorruptionError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    events = []
+    breaker = CircuitBreaker(threshold=threshold, cooldown_seconds=cooldown,
+                             clock=clock, on_event=events.append)
+    return breaker, clock, events
+
+
+def trip(breaker, name="m", times=3, error=None):
+    error = error if error is not None else RuntimeError("io exploded")
+    for _ in range(times):
+        assert breaker.allow(name) is False
+        breaker.record(name, probe=False, error=error)
+
+
+class TestClosed:
+    def test_defaults_match_contract(self):
+        assert DEFAULT_FAILURE_THRESHOLD == 5
+        assert DEFAULT_COOLDOWN_SECONDS == 2.0
+        assert TRIPPING_CODES == {"corruption", "internal"}
+
+    def test_closed_circuit_admits_everything(self):
+        breaker, _, events = make_breaker()
+        for _ in range(20):
+            assert breaker.allow("m") is False
+            breaker.record("m", probe=False)
+        assert events == []
+        assert breaker.snapshot()["m"] == {
+            "state": STATE_CLOSED, "consecutive_failures": 0,
+            "opened_total": 0}
+
+    def test_success_resets_the_streak(self):
+        breaker, _, events = make_breaker(threshold=3)
+        trip(breaker, times=2)
+        breaker.record("m", probe=False)  # success: streak back to 0
+        trip(breaker, times=2)
+        assert breaker.snapshot()["m"]["state"] == STATE_CLOSED
+        assert events == []
+
+    def test_caller_mistakes_never_trip(self):
+        breaker, _, events = make_breaker(threshold=1)
+        for code in ("bad-request", "not-found", "budget-exhausted",
+                     "over-capacity"):
+            breaker.allow("m")
+            breaker.record("m", probe=False,
+                           error=ProtocolError(code, "nope"))
+        assert breaker.snapshot()["m"]["state"] == STATE_CLOSED
+        assert events == []
+
+    def test_corruption_and_internal_both_trip(self):
+        for error in (PageCorruptionError("page 3"), RuntimeError("boom")):
+            breaker, _, events = make_breaker(threshold=2)
+            trip(breaker, times=2, error=error)
+            assert breaker.snapshot()["m"]["state"] == STATE_OPEN
+            assert events == ["circuit-open"]
+
+    def test_record_for_unknown_mount_is_a_noop(self):
+        breaker, _, events = make_breaker()
+        breaker.record("ghost", probe=False, error=RuntimeError("x"))
+        assert breaker.snapshot() == {}
+        assert events == []
+
+    def test_mounts_are_independent(self):
+        breaker, _, _ = make_breaker(threshold=2)
+        trip(breaker, name="sick", times=2)
+        assert breaker.allow("healthy") is False
+        with pytest.raises(ProtocolError):
+            breaker.allow("sick")
+
+
+class TestOpen:
+    def test_opens_at_threshold_with_typed_rejection(self):
+        breaker, clock, events = make_breaker(threshold=3, cooldown=10.0)
+        trip(breaker, times=3)
+        assert events == ["circuit-open"]
+        snap = breaker.snapshot()["m"]
+        assert snap == {"state": STATE_OPEN, "consecutive_failures": 3,
+                        "opened_total": 1}
+        with pytest.raises(ProtocolError) as caught:
+            breaker.allow("m")
+        assert caught.value.code == "circuit-open"
+        assert caught.value.http_status == 503
+        assert caught.value.retry_after == 10
+
+    def test_retry_after_is_the_ceiled_remaining_cooldown(self):
+        breaker, clock, _ = make_breaker(threshold=1, cooldown=10.0)
+        trip(breaker, times=1)
+        clock.advance(7.5)
+        with pytest.raises(ProtocolError) as caught:
+            breaker.allow("m")
+        assert caught.value.retry_after == 3  # ceil(2.5)
+        clock.advance(2.4)  # 0.1s left: floor at 1, never 0
+        with pytest.raises(ProtocolError) as caught:
+            breaker.allow("m")
+        assert caught.value.retry_after == 1
+
+
+class TestHalfOpen:
+    def make_open(self, cooldown=10.0):
+        breaker, clock, events = make_breaker(threshold=2, cooldown=cooldown)
+        trip(breaker, times=2)
+        clock.advance(cooldown)
+        return breaker, clock, events
+
+    def test_cooldown_expiry_admits_exactly_one_probe(self):
+        breaker, _, events = self.make_open()
+        assert breaker.allow("m") is True
+        assert events == ["circuit-open", "circuit-half-open"]
+        assert breaker.snapshot()["m"]["state"] == STATE_HALF_OPEN
+        with pytest.raises(ProtocolError) as caught:
+            breaker.allow("m")  # concurrent request while probe in flight
+        assert caught.value.code == "circuit-open"
+        assert caught.value.retry_after == 1
+
+    def test_probe_success_rescrubs_then_closes(self):
+        breaker, _, events = self.make_open()
+        assert breaker.allow("m") is True
+        scrubs = []
+        breaker.record("m", probe=True,
+                       rescrub=lambda: scrubs.append(1) or True)
+        assert scrubs == [1]
+        assert breaker.snapshot()["m"] == {
+            "state": STATE_CLOSED, "consecutive_failures": 0,
+            "opened_total": 1}
+        assert events[-1] == "circuit-close"
+        assert breaker.allow("m") is False  # back to normal traffic
+
+    def test_unhealthy_rescrub_reopens(self):
+        breaker, clock, events = self.make_open()
+        breaker.allow("m")
+        breaker.record("m", probe=True, rescrub=lambda: False)
+        snap = breaker.snapshot()["m"]
+        assert snap["state"] == STATE_OPEN
+        assert snap["opened_total"] == 2
+        assert events[-1] == "circuit-reopen"
+        with pytest.raises(ProtocolError):
+            breaker.allow("m")  # a fresh cooldown started
+
+    def test_raising_rescrub_is_an_unhealthy_verdict(self):
+        breaker, _, events = self.make_open()
+        breaker.allow("m")
+
+        def bad_scrub():
+            raise OSError("scrub io died")
+
+        breaker.record("m", probe=True, rescrub=bad_scrub)
+        assert breaker.snapshot()["m"]["state"] == STATE_OPEN
+        assert events[-1] == "circuit-reopen"
+
+    def test_probe_failure_reopens_immediately(self):
+        breaker, clock, events = self.make_open(cooldown=5.0)
+        breaker.allow("m")
+        breaker.record("m", probe=True, error=RuntimeError("still sick"))
+        snap = breaker.snapshot()["m"]
+        assert snap["state"] == STATE_OPEN
+        assert snap["opened_total"] == 2
+        assert events[-1] == "circuit-open"
+        clock.advance(5.0)
+        assert breaker.allow("m") is True  # the next probe window
+
+    def test_neutral_probe_outcome_returns_the_slot(self):
+        breaker, _, _ = self.make_open()
+        assert breaker.allow("m") is True
+        breaker.record("m", probe=True,
+                       error=ProtocolError("budget-exhausted", "later"))
+        # The probe proved nothing: still half-open, slot free again.
+        assert breaker.snapshot()["m"]["state"] == STATE_HALF_OPEN
+        assert breaker.allow("m") is True
+
+    def test_probe_success_without_rescrub_closes(self):
+        breaker, _, _ = self.make_open()
+        breaker.allow("m")
+        breaker.record("m", probe=True)
+        assert breaker.snapshot()["m"]["state"] == STATE_CLOSED

@@ -11,7 +11,8 @@ import json
 
 import pytest
 
-from repro.exitcodes import EXIT_CORRUPTION, EXIT_ERROR, EXIT_USAGE
+from repro.exitcodes import (EXIT_CORRUPTION, EXIT_ERROR, EXIT_TIMEOUT,
+                             EXIT_USAGE)
 from repro.prix.budget import (BudgetExceededError, DegradationReason,
                                PHASE_FILTER)
 from repro.serve import protocol
@@ -19,7 +20,7 @@ from repro.serve.protocol import (ERROR_KINDS, ProtocolError, QueryRequest,
                                   error_for_exception, parse_query_request,
                                   result_payload)
 from repro.storage.errors import (PageCorruptionError, ReadOnlyBackendError,
-                                  WalCorruptionError)
+                                  TransientStorageError, WalCorruptionError)
 
 
 # ---------------------------------------------------------------- vocabulary
@@ -30,9 +31,11 @@ EXPECTED_KINDS = {
     "not-found": (404, EXIT_USAGE),
     "method-not-allowed": (405, EXIT_USAGE),
     "read-only": (403, EXIT_ERROR),
+    "request-timeout": (408, EXIT_TIMEOUT),
     "budget-exhausted": (429, EXIT_ERROR),
     "over-capacity": (503, EXIT_ERROR),
     "draining": (503, EXIT_ERROR),
+    "circuit-open": (503, EXIT_ERROR),
     "corruption": (500, EXIT_CORRUPTION),
     "internal": (500, EXIT_ERROR),
 }
@@ -74,6 +77,21 @@ def test_error_body_golden_bytes():
         b'"exit_code":1,"message":"server is draining"},"ok":false}')
 
 
+def test_retryable_error_body_golden_bytes():
+    # Golden: retry_after rides in the body so a client that cannot see
+    # HTTP headers (or a log reader) still gets the backoff floor.
+    error = ProtocolError("circuit-open", "circuit is open", retry_after=2)
+    assert protocol.dumps(error.body()) == (
+        b'{"error":{"code":"circuit-open","error_type":"ProtocolError",'
+        b'"exit_code":1,"message":"circuit is open","retry_after":2},'
+        b'"ok":false}')
+
+
+def test_retry_after_defaults_to_absent():
+    assert "retry_after" not in ProtocolError("draining", "x").body()["error"]
+    assert ProtocolError("draining", "x").retry_after is None
+
+
 # ------------------------------------------------------- exception mapping
 
 def test_budget_exceeded_maps_to_429_with_degradation_detail():
@@ -86,6 +104,21 @@ def test_budget_exceeded_maps_to_429_with_degradation_detail():
     assert typed.error_type == "BudgetExceededError"
     assert typed.detail == {"phase": "filter", "limit": "range_queries",
                             "spent": 11, "budget": 10}
+    # Budget exhaustion is retryable: the rejection carries the default
+    # Retry-After hint (satellite of the chaos/resilience contract).
+    assert typed.retry_after == protocol.DEFAULT_RETRY_AFTER_SECONDS
+
+
+def test_timeout_maps_to_408_with_retry_after():
+    # TimeoutError subclasses OSError; the dedicated arm must win over
+    # the generic internal mapping so a stalled read is retryable.
+    typed = error_for_exception(TimeoutError("timed out"))
+    assert typed.code == "request-timeout"
+    assert typed.http_status == 408
+    assert typed.exit_code == EXIT_TIMEOUT
+    assert typed.retry_after == protocol.DEFAULT_RETRY_AFTER_SECONDS
+    # An empty TimeoutError (the usual socket case) still gets a message.
+    assert error_for_exception(TimeoutError()).message == "timed out"
 
 
 @pytest.mark.parametrize("error,code,exit_code", [
@@ -96,6 +129,10 @@ def test_budget_exceeded_maps_to_429_with_degradation_detail():
     (KeyError("variant 'ep' was not built"), "not-found", EXIT_USAGE),
     (ValueError("bad xpath"), "internal", EXIT_ERROR),
     (OSError("socket"), "internal", EXIT_ERROR),
+    (TimeoutError("read timed out"), "request-timeout", EXIT_TIMEOUT),
+    # A chaos-injected transient read fault is an internal server error
+    # on the wire -- retryable by status, but never silently absorbed.
+    (TransientStorageError("injected read-error"), "internal", EXIT_ERROR),
     (RuntimeError("surprise"), "internal", EXIT_ERROR),
 ])
 def test_library_exceptions_map_to_their_cli_exit_codes(error, code,

@@ -112,6 +112,46 @@ def test_reload_times_out_but_keeps_new_generation_live(index_path):
     registry.close_all()
 
 
+def test_reload_timeout_leaks_generation_then_reaps_on_release(index_path):
+    """The drain-timeout leak branch, end to end: a stuck lease leaks
+    the old generation (visible in the ``leaked()`` ledger the server
+    merges into ``/metrics``), the new generation keeps serving, and
+    the *last* release of the stuck lease closes and reaps the leak."""
+    registry = IndexRegistry()
+    registry.mount("default", index_path)
+    with registry.lease("default") as mount:
+        before = mount.index.query("//article/author")
+
+    lease = registry.lease("default")
+    old_mount = lease.__enter__()
+    with pytest.raises(ServeError, match="leaks until its queries finish"):
+        registry.reload("default", timeout=0.05)
+    assert registry.leaked() == [
+        {"name": "default", "generation": 1, "leases": 1}]
+    # The leaked generation still answers under its live lease...
+    assert old_mount.index.query("//article/author") == before
+    # ...while new traffic is already on generation 2.
+    with registry.lease("default") as mount:
+        assert mount.generation == 2
+        assert mount.index.query("//article/author") == before
+    # Releasing the stuck lease reaps (closes + delists) the leak.
+    lease.__exit__(None, None, None)
+    assert registry.leaked() == []
+    registry.close_all()
+
+
+def test_rescrub_refreshes_health_and_returns_verdict(index_path):
+    registry = IndexRegistry()
+    registry.mount("default", index_path)
+    assert registry.rescrub("default") is True
+    health = registry.health()["default"]
+    assert health["healthy"] is True
+    assert health["scrub"] == json.loads(scrub_path(index_path).to_json())
+    with pytest.raises(KeyError):
+        registry.rescrub("nope")
+    registry.close_all()
+
+
 def test_reload_unknown_name_raises_keyerror(index_path):
     registry = IndexRegistry()
     with pytest.raises(KeyError):
@@ -216,3 +256,13 @@ def test_metrics_counters_accumulate_per_endpoint():
     assert query["latency_seconds_total"] == pytest.approx(0.013)
     assert snap["endpoints"]["/healthz"]["requests"] == 1
     assert snap["uptime_seconds"] >= 0
+
+
+def test_metrics_named_events_accumulate_sorted():
+    metrics = ServerMetrics()
+    for name in ("circuit-open", "circuit-close", "circuit-open"):
+        metrics.record_event(name)
+    snap = metrics.snapshot()
+    assert snap["events"] == {"circuit-close": 1, "circuit-open": 2}
+    assert list(snap["events"]) == sorted(snap["events"])
+    assert ServerMetrics().snapshot()["events"] == {}

@@ -1,0 +1,250 @@
+"""Unit tests for the live chaos layer (``repro.storage.faults``).
+
+Covers the :class:`ChaosSchedule`'s determinism contract (same seed ==
+same fault positions, replayable from the ``describe()`` recipe), each
+fault kind's semantics through :class:`ChaosBackend` -- transient read
+errors, injected latency, the fail-then-heal window, and corrupt-reads
+that exercise the guard's WAL read-repair and quarantine-heal paths --
+plus the arming switch and the facade/index plumb-through
+(``open_backend(chaos=...)``, ``PrixIndex.open(chaos=...)``).
+"""
+
+import io
+
+import pytest
+
+from repro.prix.index import IndexOptions, PrixIndex
+from repro.storage import (ChaosBackend, ChaosConfig, ChaosSchedule,
+                           TransientStorageError, open_backend)
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.errors import PageCorruptionError
+from repro.storage.faults import (CHAOS_KINDS, KIND_CORRUPT_READ,
+                                  KIND_FAIL_WINDOW, KIND_READ_ERROR,
+                                  KIND_READ_LATENCY)
+from repro.storage.guard import PageGuard
+from repro.storage.pager import Pager
+from repro.storage.wal import WriteAheadLog
+from repro.xmlkit.parser import parse_document
+
+PAGE_SIZE = 64
+
+
+def fill(value, page_size=PAGE_SIZE):
+    return bytes([value]) * page_size
+
+
+def make_pool(*, guard=False, wal=False):
+    page_guard = PageGuard(io.BytesIO(), PAGE_SIZE) if guard else None
+    pager = Pager.in_memory(PAGE_SIZE, guard=page_guard)
+    pool = BufferPool(pager, capacity=8)
+    if wal:
+        pool.attach_wal(WriteAheadLog(io.BytesIO(), PAGE_SIZE))
+    return pool
+
+
+class TestChaosSchedule:
+    def test_same_seed_same_decisions(self):
+        config = ChaosConfig(seed=7, read_error_period=3,
+                             latency_period=5, corrupt_period=11)
+        first = [ChaosSchedule(config).decide(i) for i in range(200)]
+        second = [ChaosSchedule(config).decide(i) for i in range(200)]
+        assert first == second
+        assert any(kind is not None for kind in first)
+
+    def test_different_seeds_diverge(self):
+        base = dict(read_error_period=3, latency_period=5,
+                    corrupt_period=11)
+        a = [ChaosSchedule(ChaosConfig(seed=1, **base)).decide(i)
+             for i in range(200)]
+        b = [ChaosSchedule(ChaosConfig(seed=2, **base)).decide(i)
+             for i in range(200)]
+        assert a != b
+
+    def test_fail_first_window_outranks_everything(self):
+        schedule = ChaosSchedule(ChaosConfig(seed=0, fail_first=4,
+                                             read_error_period=1))
+        assert [schedule.decide(i) for i in range(4)] == \
+            [KIND_FAIL_WINDOW] * 4
+        assert schedule.decide(4) == KIND_READ_ERROR
+
+    def test_period_one_fires_every_op(self):
+        schedule = ChaosSchedule(ChaosConfig(seed=3, corrupt_period=1))
+        assert all(schedule.decide(i) == KIND_CORRUPT_READ
+                   for i in range(20))
+
+    def test_none_periods_never_fire(self):
+        schedule = ChaosSchedule(ChaosConfig(seed=3))
+        assert all(schedule.decide(i) is None for i in range(100))
+
+    def test_corrupt_bit_is_deterministic_and_in_range(self):
+        schedule = ChaosSchedule(ChaosConfig(seed=9, corrupt_period=1))
+        bits = [schedule.corrupt_bit(i, PAGE_SIZE) for i in range(50)]
+        assert bits == [ChaosSchedule(ChaosConfig(seed=9, corrupt_period=1))
+                        .corrupt_bit(i, PAGE_SIZE) for i in range(50)]
+        assert all(0 <= bit < PAGE_SIZE * 8 for bit in bits)
+
+    def test_describe_is_a_replay_recipe(self):
+        config = ChaosConfig(seed=5, read_error_period=2)
+        schedule = ChaosSchedule(config)
+        schedule.next_op()
+        schedule.record(KIND_READ_ERROR)
+        recipe = schedule.describe()
+        assert recipe["config"] == config.as_dict()
+        assert recipe["ops_seen"] == 1
+        assert recipe["injected"][KIND_READ_ERROR] == 1
+        assert set(recipe["injected"]) == set(CHAOS_KINDS)
+
+
+class TestChaosBackendFaults:
+    def test_read_error_is_typed_and_transient(self):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x11))
+        chaos = ChaosBackend(pool, ChaosConfig(seed=1, fail_first=2))
+        with pytest.raises(TransientStorageError):
+            chaos.get(pid)
+        with pytest.raises(TransientStorageError):
+            chaos.get(pid)
+        # Healed: the fail-first window is over, the bytes were intact.
+        assert bytes(chaos.get(pid)) == fill(0x11)
+
+    def test_disarmed_backend_is_transparent(self):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x22))
+        chaos = ChaosBackend(pool, ChaosConfig(seed=1, fail_first=10),
+                             armed=False)
+        assert bytes(chaos.get(pid)) == fill(0x22)
+        # Disarmed reads claim no ops: arming later still fails reads.
+        chaos.set_armed(True)
+        with pytest.raises(TransientStorageError):
+            chaos.get(pid)
+
+    def test_latency_injection_proceeds_with_correct_bytes(self):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x33))
+        chaos = ChaosBackend(pool, ChaosConfig(seed=1, latency_period=1,
+                                               latency_ms=0.01))
+        assert bytes(chaos.get(pid)) == fill(0x33)
+        assert chaos.chaos_describe()["injected"][KIND_READ_LATENCY] == 1
+
+    def test_writes_and_lifecycle_are_never_faulted(self):
+        pool = make_pool()
+        chaos = ChaosBackend(pool, ChaosConfig(seed=1, fail_first=10 ** 6))
+        pid, _ = chaos.new_page()
+        chaos.put(pid, fill(0x44))
+        chaos.mark_dirty(pid)
+        chaos.commit()
+        chaos.flush()
+        assert chaos.page_size == PAGE_SIZE
+        assert chaos.stats is pool.stats
+
+    def test_injection_counts_are_not_page_traffic(self):
+        pool = make_pool()
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x55))
+        pool.flush()
+        pool.flush_and_clear()
+        chaos = ChaosBackend(pool, ChaosConfig(seed=1, fail_first=3))
+        before = pool.stats.read("physical_reads")
+        for _ in range(3):
+            with pytest.raises(TransientStorageError):
+                chaos.get(pid)
+        # Three rejected reads never reached the pager.
+        assert pool.stats.read("physical_reads") == before
+
+
+class TestCorruptRead:
+    def test_repaired_from_committed_wal_image(self):
+        """The PR 4 read-repair path, driven by injection: a corrupt
+        read over a committed WAL image is healed transparently and the
+        caller sees the true bytes."""
+        pool = make_pool(guard=True, wal=True)
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x66))
+        pool.commit()
+        pool.flush()
+        pool.flush_and_clear()
+        chaos = ChaosBackend(pool, ChaosConfig(seed=2, corrupt_period=1))
+        assert bytes(chaos.get(pid)) == fill(0x66)
+        assert pool.stats.guard_repairs == 1
+        assert chaos.chaos_describe()["injected"][KIND_CORRUPT_READ] == 1
+
+    def test_unrepairable_corruption_is_typed_then_heals(self):
+        """Without a covering WAL image the injected corruption is a
+        typed PageCorruptionError -- and because the durable bytes were
+        never actually wrong, the synthetic quarantine is healed so the
+        retry succeeds (chaos must not wedge the mount forever)."""
+        pool = make_pool(guard=True, wal=False)
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x77))
+        pool.flush()
+        pool.flush_and_clear()
+        chaos = ChaosBackend(pool, ChaosConfig(seed=2, corrupt_period=2))
+        outcomes = []
+        for _ in range(6):
+            try:
+                outcomes.append(bytes(chaos.get(pid)))
+            except PageCorruptionError:
+                outcomes.append("corrupt")
+        assert "corrupt" in outcomes
+        assert fill(0x77) in outcomes
+        # Every successful read returned exactly the true image.
+        assert set(outcomes) <= {"corrupt", fill(0x77)}
+
+    def test_unguarded_page_downgrades_to_transient(self):
+        pool = make_pool(guard=False)
+        pid, _ = pool.new_page()
+        pool.put(pid, fill(0x88))
+        pool.flush()
+        pool.flush_and_clear()
+        chaos = ChaosBackend(pool, ChaosConfig(seed=2, corrupt_period=1))
+        with pytest.raises(TransientStorageError) as caught:
+            chaos.get(pid)
+        assert "downgraded" in str(caught.value)
+
+
+class TestPlumbing:
+    def test_open_backend_wraps_when_configured(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        plain = open_backend(str(path), PAGE_SIZE)
+        pid, _ = plain.new_page()
+        plain.put(pid, fill(0x99))
+        plain.flush()
+        plain.close()
+        config = ChaosConfig(seed=4, fail_first=1)
+        wrapped = open_backend(str(path), PAGE_SIZE, chaos=config)
+        assert isinstance(wrapped, ChaosBackend)
+        assert wrapped.kind == "chaos"
+        with pytest.raises(TransientStorageError):
+            wrapped.get(pid)
+        assert bytes(wrapped.get(pid)) == fill(0x99)
+        wrapped.close()
+        assert open_backend(str(path), PAGE_SIZE, chaos=None).kind == "file"
+
+    def test_prix_index_open_disarms_during_attach(self, tmp_path):
+        """Catalog/attach reads must not consume (or trip) the fault
+        schedule: with fail_first large enough to kill any attach read,
+        the open still succeeds and the *first query* draws the fault."""
+        path = str(tmp_path / "chaos.idx")
+        index = PrixIndex.build(
+            [parse_document("<a><b>x</b></a>", 1)],
+            IndexOptions(path=path))
+        index.save()
+        index.close()
+        config = ChaosConfig(seed=6, fail_first=2)
+        index = PrixIndex.open(path, chaos=config)
+        try:
+            with pytest.raises(TransientStorageError):
+                index.query("//a/b")
+            # The schedule heals; the same query then succeeds exactly.
+            for _ in range(4):
+                try:
+                    result = index.query("//a/b")
+                    break
+                except TransientStorageError:
+                    continue
+            assert sorted(result.doc_ids) == [1]
+        finally:
+            index.close()
