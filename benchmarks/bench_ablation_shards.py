@@ -1,0 +1,173 @@
+"""Ablation A7: partitioned parallel indexing (docs/SHARDING.md).
+
+Sweeps shard counts {1, 2, 4, 8} over a dblp corpus 20x the test-tier
+scale and, at 4 shards, build-worker counts {1, 2, 4}.  Per shard count
+it records build wall-clock, query latency percentiles over the Table 3
+dblp queries, summed per-shard physical pages, and the configuration's
+peak RSS -- each configuration runs in a forked child so the RSS number
+is genuinely per-configuration, not a process-lifetime high-water mark.
+
+The machine-readable bundle lands in ``BENCH_shards.json`` (override
+with ``PRIX_BENCH_SHARDS``); the human-readable table goes to the
+shared ``results.txt`` like every other ablation.
+
+Two assertions ride along: the canonical answer bytes must be identical
+at every shard count (the oracle property at bench scale), and -- only
+when the host actually has >= 2 CPUs -- the 4-worker build must beat
+the serial build of the same shard count (the parallel-speedup
+acceptance gate; a single-CPU host records the sweep but cannot
+demonstrate a speedup and says so in the bundle).
+"""
+
+import hashlib
+import json
+import multiprocessing
+import os
+import resource
+import statistics
+import tempfile
+import time
+
+from repro.bench.reporting import render_table
+from repro.bench.workloads import queries_for
+from repro.datasets import dblp
+from repro.query.xpath import parse_xpath
+from repro.shard import ShardedIndex, build_shards
+
+N_RECORDS = 2400            # 20x the 120-record test-tier corpus
+SHARD_COUNTS = (1, 2, 4, 8)
+WORKER_SWEEP_SHARDS = 4     # the worker ablation runs at this count
+WORKER_COUNTS = (1, 2, 4)
+QUERY_REPETITIONS = 15
+OUTPUT = os.environ.get(
+    "PRIX_BENCH_SHARDS",
+    os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                 "BENCH_shards.json"))
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    pick = lambda q: ordered[min(len(ordered) - 1,
+                                 int(q * (len(ordered) - 1) + 0.5))]
+    return {"p50": statistics.median(ordered),
+            "p95": pick(0.95), "p99": pick(0.99)}
+
+
+def _run_configuration(shards, workers, conn):
+    """Child-process body: build, query, report one configuration."""
+    docs = dblp(n_records=N_RECORDS).documents
+    specs = queries_for("dblp")
+    with tempfile.TemporaryDirectory() as tmp:
+        target = os.path.join(tmp, "shards")
+        started = time.perf_counter()
+        build_shards(docs, target, shards=shards, workers=workers)
+        build_seconds = time.perf_counter() - started
+
+        index_bytes = sum(
+            os.path.getsize(os.path.join(target, name))
+            for name in os.listdir(target) if name.endswith(".idx"))
+
+        latencies = []
+        physical = 0
+        digest = hashlib.sha256()
+        with ShardedIndex.open(target) as sharded:
+            patterns = [(spec.qid, parse_xpath(spec.xpath))
+                        for spec in specs]
+            for _ in range(QUERY_REPETITIONS):
+                for _, pattern in patterns:
+                    begun = time.perf_counter()
+                    _, stats = sharded.query_with_stats(pattern)
+                    latencies.append(time.perf_counter() - begun)
+                    physical += stats.physical_reads
+            # Canonical answer bytes, digested across all queries: the
+            # parent asserts every shard count agrees.
+            for qid, pattern in patterns:
+                rows = sorted(
+                    (m.doc_id, [list(image) for image in m.images])
+                    for m in sharded.query(pattern))
+                digest.update(qid.encode())
+                digest.update(json.dumps(
+                    rows, separators=(",", ":")).encode())
+
+    peak_rss_kib = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    conn.send({
+        "shards": shards,
+        "workers": workers,
+        "build_seconds": build_seconds,
+        "index_bytes": index_bytes,
+        "query_latency_seconds": _percentiles(latencies),
+        "physical_pages": physical,
+        "queries_timed": len(latencies),
+        "peak_rss_kib": peak_rss_kib,
+        "answer_digest": digest.hexdigest(),
+    })
+    conn.close()
+
+
+def run_configuration(shards, workers):
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    child = context.Process(target=_run_configuration,
+                            args=(shards, workers, child_conn))
+    child.start()
+    row = parent_conn.recv()
+    child.join()
+    assert child.exitcode == 0
+    return row
+
+
+def test_ablation_shards(benchmark):
+    cpus = os.cpu_count() or 1
+    rows = []
+    for shards in SHARD_COUNTS:
+        rows.append(run_configuration(shards, workers=1))
+    for workers in WORKER_COUNTS[1:]:
+        rows.append(run_configuration(WORKER_SWEEP_SHARDS, workers))
+
+    benchmark.pedantic(lambda: run_configuration(1, 1),
+                       rounds=1, iterations=1)
+
+    serial = next(r for r in rows
+                  if r["shards"] == WORKER_SWEEP_SHARDS
+                  and r["workers"] == 1)
+    speedups = {
+        r["workers"]: serial["build_seconds"] / r["build_seconds"]
+        for r in rows if r["shards"] == WORKER_SWEEP_SHARDS}
+
+    bundle = {
+        "bench": "ablation_shards",
+        "corpus": {"name": "dblp", "n_records": N_RECORDS,
+                   "scale_vs_test_tier": N_RECORDS / 120},
+        "host_cpus": cpus,
+        "query_set": [spec.qid for spec in queries_for("dblp")],
+        "repetitions": QUERY_REPETITIONS,
+        "configurations": rows,
+        "build_speedup_vs_serial_at_4_shards": speedups,
+        "note": (None if cpus >= 2 else
+                 "single-CPU host: the worker sweep records overhead "
+                 "only; no parallel speedup is possible here"),
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    render_table(
+        f"Ablation A7: sharded build/query sweep (dblp x{N_RECORDS})",
+        ["shards", "workers", "build (s)", "p50 (ms)", "p95 (ms)",
+         "pages", "peak RSS (MiB)"],
+        [[r["shards"], r["workers"], f"{r['build_seconds']:.2f}",
+          f"{r['query_latency_seconds']['p50'] * 1e3:.1f}",
+          f"{r['query_latency_seconds']['p95'] * 1e3:.1f}",
+          r["physical_pages"],
+          f"{r['peak_rss_kib'] / 1024:.0f}"] for r in rows])
+
+    digests = {r["answer_digest"] for r in rows}
+    assert len(digests) == 1, (
+        "sharded answers diverge across configurations")
+
+    if cpus >= 2:
+        assert speedups[4] > 1.0, (
+            f"4-worker build should beat serial on a {cpus}-CPU host, "
+            f"got {speedups[4]:.2f}x")

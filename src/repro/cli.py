@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli build INDEX.idx doc1.xml doc2.xml ...
     python -m repro.cli build INDEX.idx --corpus dblp --scale small
+    python -m repro.cli build SHARDS/ --corpus dblp --shards 4 --workers 4
     python -m repro.cli query INDEX.idx '//book[./author="Knuth"]/title'
     python -m repro.cli stats INDEX.idx
     python -m repro.cli lint src/repro --format json
@@ -33,6 +34,21 @@ from repro.storage.errors import CorruptionError, StorageError, WalError
 from repro.xmlkit.parser import parse_document, split_documents
 
 
+def _open_index(path, backend="file"):
+    """Open ``path`` as whichever index kind it is.
+
+    A directory holding a ``prixshard.json`` manifest opens as a
+    :class:`~repro.shard.ShardedIndex`; anything else opens as a
+    monolithic :class:`PrixIndex`.  Every read-side command routes
+    through here, so shard directories are first-class arguments to
+    ``query``/``stats``/``insert``/``delete``.
+    """
+    from repro.shard import ShardedIndex, is_shard_directory
+    if is_shard_directory(path):
+        return ShardedIndex.open(path, backend=backend)
+    return PrixIndex.open(path, backend=backend)
+
+
 def _cmd_build(args):
     if args.corpus:
         corpus = get_corpus(args.corpus, args.scale)
@@ -54,6 +70,23 @@ def _cmd_build(args):
     else:
         print("error: provide XML files or --corpus", file=sys.stderr)
         return EXIT_USAGE
+
+    if args.shards:
+        from repro.shard import build_shards
+        options = IndexOptions(page_size=args.page_size,
+                               labeler=args.labeler,
+                               durable=args.durable,
+                               guard=args.guard)
+        report = build_shards(documents, args.index, shards=args.shards,
+                              workers=args.workers, options=options)
+        for row in report.shards:
+            print(f"  {row.name}: {row.doc_count} document(s) "
+                  f"[{row.low}..{row.high}], {row.trie_nodes} trie "
+                  f"nodes, {row.build_seconds * 1000:.0f} ms")
+        print(f"sharded index written to {args.index} "
+              f"({len(report.shards)} shard(s), {args.workers} "
+              f"worker(s), {report.elapsed_seconds:.2f} s)")
+        return 0
 
     options = IndexOptions(path=args.index,
                            page_size=args.page_size,
@@ -87,7 +120,7 @@ def _make_budget(args):
 
 
 def _cmd_query(args):
-    index = PrixIndex.open(args.index, backend=args.backend)
+    index = _open_index(args.index, backend=args.backend)
     try:
         pattern = parse_xpath(args.xpath)
         matches, stats = index.query_with_stats(
@@ -122,6 +155,11 @@ def _cmd_query(args):
         if args.explain:
             print(f"\nvariant={stats.variant} strategy={stats.strategy} "
                   f"arrangements={stats.arrangements}")
+            if getattr(stats, "shards", 0):
+                scattered = ", ".join(
+                    f"{row['shard']}={row['matches']}"
+                    for row in stats.per_shard)
+                print(f"shards: {stats.shards} ({scattered})")
             print(f"filter: {stats.filter.range_queries} range queries, "
                   f"{stats.filter.nodes_visited} trie nodes, "
                   f"{stats.filter.pruned_by_maxgap} pruned by MaxGap")
@@ -136,11 +174,15 @@ def _cmd_query(args):
 
 
 def _cmd_insert(args):
-    index = PrixIndex.open(args.index)
+    index = _open_index(args.index)
     try:
         doc_id = args.doc_id
         if doc_id is None:
-            doc_id = (max(index._doc_ids) + 1) if index._doc_ids else 1
+            from repro.shard import ShardedIndex
+            if isinstance(index, ShardedIndex):
+                doc_id = index.catalog.entries[-1].high + 1
+            else:
+                doc_id = (max(index._doc_ids) + 1) if index._doc_ids else 1
         with open(args.file, "r", encoding="utf-8") as handle:
             document = parse_document(handle.read(), doc_id)
         from repro.prix.incremental import RebuildRequiredError
@@ -148,7 +190,8 @@ def _cmd_insert(args):
             index.insert_document(document)
         except RebuildRequiredError as error:
             print(f"error: {error}\nthe index has no insertion slack; "
-                  f"rebuild it with --labeler dynamic", file=sys.stderr)
+                  f"rebuild it with --labeler dynamic (for a shard "
+                  f"directory, run 'prix rebalance')", file=sys.stderr)
             return 1
         index.save()
         print(f"inserted document {doc_id}; index now holds "
@@ -159,7 +202,7 @@ def _cmd_insert(args):
 
 
 def _cmd_delete(args):
-    index = PrixIndex.open(args.index)
+    index = _open_index(args.index)
     try:
         index.delete_document(args.doc_id)
         index.save()
@@ -216,9 +259,23 @@ def _cmd_checkpoint(args):
 
 
 def _cmd_scrub(args):
+    import os
+
     from repro.storage.guard import scrub_path
-    report = scrub_path(args.index, wal_path=args.wal,
-                        stamp_missing=args.stamp)
+    if os.path.isdir(args.index):
+        # Directory form: recursively scrub every index file found.  A
+        # shard directory additionally has its manifest verified; any
+        # unhealthy shard (or a bad manifest) yields the single
+        # corruption exit code, same as one bad index.
+        from repro.shard import is_shard_directory, scrub_shards
+        from repro.storage import scrub_tree
+        if is_shard_directory(args.index):
+            report = scrub_shards(args.index, stamp_missing=args.stamp)
+        else:
+            report = scrub_tree(args.index, stamp_missing=args.stamp)
+    else:
+        report = scrub_path(args.index, wal_path=args.wal,
+                            stamp_missing=args.stamp)
     if args.json:
         # The canonical serialization -- byte-identical to what the
         # serving tier's /healthz endpoint caches (docs/SERVING.md).
@@ -259,9 +316,52 @@ def _cmd_client(args):
     return 0
 
 
+def _stats_payload(index, target):
+    """Machine-readable ``prix stats`` summary (``--json``).
+
+    Mirrors ``prix scrub --json``: canonical keys the shard bench and
+    the CI matrix scrape instead of parsing the human rendering.
+    """
+    from repro.shard import ShardedIndex
+    payload = {"target": target, "documents": index.doc_count}
+    if isinstance(index, ShardedIndex):
+        catalog = index.catalog
+        payload["generation"] = catalog.generation
+        payload["shard_count"] = index.shard_count
+        payload["shards"] = index.shard_stats()
+    else:
+        payload["variants"] = {}
+        for variant in index.variants():
+            stats = index.trie_stats(variant)
+            payload["variants"][variant] = {
+                "sequences": stats.sequence_count,
+                "total_symbols": stats.total_sequence_length,
+                "trie_nodes": stats.node_count,
+                "paths": stats.path_count,
+                "max_path_sharing": stats.max_path_sharing,
+            }
+    return payload
+
+
 def _cmd_stats(args):
-    index = PrixIndex.open(args.index, backend=args.backend)
+    import json
+
+    from repro.shard import ShardedIndex
+    index = _open_index(args.index, backend=args.backend)
     try:
+        if args.json:
+            print(json.dumps(_stats_payload(index, args.index),
+                             sort_keys=True, indent=2))
+            return 0
+        if isinstance(index, ShardedIndex):
+            catalog = index.catalog
+            print(f"documents: {index.doc_count}")
+            print(f"shards: {index.shard_count} "
+                  f"(generation {catalog.generation})")
+            for row in index.shard_stats():
+                print(f"  {row['shard']}: {row['doc_count']} doc(s) "
+                      f"[{row['low']}..{row['high']}] in {row['file']}")
+            return 0
         print(f"documents: {index.doc_count}")
         for variant in index.variants():
             stats = index.trie_stats(variant)
@@ -276,6 +376,23 @@ def _cmd_stats(args):
         return 0
     finally:
         index.close()
+
+
+def _cmd_rebalance(args):
+    from repro.shard import compact, rebalance
+    if args.compact:
+        report = compact(args.index, workers=args.workers)
+    else:
+        report = rebalance(args.index, shards=args.shards,
+                           workers=args.workers)
+    print(f"generation {report.generation}: {report.shards} shard(s), "
+          f"{report.doc_count} document(s)")
+    print(f"  reused      : {report.reused}")
+    print(f"  incremental : {report.incremental}")
+    print(f"  rebuilt     : {report.rebuilt}")
+    print(f"  moved docs  : {report.moved_documents}")
+    print(f"  elapsed     : {report.elapsed_seconds:.2f} s")
+    return 0
 
 
 def make_parser():
@@ -307,10 +424,18 @@ def make_parser():
                        help="keep per-page checksums in INDEX.sum; "
                             "reads verify, repair from the WAL, or fail "
                             "with a typed corruption error")
+    build.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="partition into N doc-id-range shards; "
+                            "INDEX becomes a directory holding one "
+                            "index file per shard plus a checksummed "
+                            "prixshard.json manifest (docs/SHARDING.md)")
+    build.add_argument("--workers", type=int, default=1, metavar="W",
+                       help="build shards with W processes (with "
+                            "--shards; output is identical at any W)")
     build.set_defaults(func=_cmd_build)
 
     query = commands.add_parser("query", help="run a twig query")
-    query.add_argument("index", help="index file")
+    query.add_argument("index", help="index file or shard directory")
     query.add_argument("xpath", help="XPath-subset twig query")
     query.add_argument("--ordered", action="store_true",
                        help="match the twig's branch order only")
@@ -367,12 +492,33 @@ def make_parser():
     explain_cmd.add_argument("--variant", choices=["rp", "ep"])
     explain_cmd.set_defaults(func=_cmd_explain)
 
-    stats = commands.add_parser("stats", help="summarize a saved index")
-    stats.add_argument("index", help="index file")
+    stats = commands.add_parser(
+        "stats", help="summarize a saved index or shard directory")
+    stats.add_argument("index", help="index file or shard directory")
     stats.add_argument("--backend", choices=["file", "mmap", "arena"],
                        default="file",
                        help="storage backend to open the index with")
+    stats.add_argument("--json", action="store_true",
+                       help="emit a machine-readable summary (mirrors "
+                            "'prix scrub --json')")
     stats.set_defaults(func=_cmd_stats)
+
+    rebalance_cmd = commands.add_parser(
+        "rebalance", help="re-cut a shard directory into near-equal "
+                          "doc-id ranges, publishing a new manifest "
+                          "generation (docs/SHARDING.md)")
+    rebalance_cmd.add_argument("index", help="shard directory")
+    rebalance_cmd.add_argument("--shards", type=int, default=None,
+                               metavar="N",
+                               help="target shard count (default: keep)")
+    rebalance_cmd.add_argument("--workers", type=int, default=1,
+                               metavar="W",
+                               help="rebuild processes")
+    rebalance_cmd.add_argument("--compact", action="store_true",
+                               help="rebuild every shard from its live "
+                                    "documents, dropping deleted-doc "
+                                    "residue")
+    rebalance_cmd.set_defaults(func=_cmd_rebalance)
 
     # Function-local import (like lint's below): importing repro.cli as
     # a library never drags the serving tier in.
@@ -435,8 +581,9 @@ def make_parser():
     scrub = commands.add_parser(
         "scrub", help="sweep every page and the catalog of an index, "
                       "verifying checksums and repairing from the WAL "
-                      "where possible")
-    scrub.add_argument("index", help="index file")
+                      "where possible; a directory argument scrubs "
+                      "every index found under it")
+    scrub.add_argument("index", help="index file or directory")
     scrub.add_argument("--wal", default=None,
                        help="log file to repair from (default: INDEX.wal)")
     scrub.add_argument("--stamp", action="store_true",

@@ -39,6 +39,7 @@ import threading
 
 from repro.prix.index import PrixIndex
 from repro.serve.protocol import ProtocolError
+from repro.shard import ShardedIndex, is_shard_directory, scrub_shards
 from repro.storage import Latch, scrub_path
 
 #: How long a reload waits for the old generation's leases to drain
@@ -113,10 +114,22 @@ class IndexRegistry:
         generation's backend in a fault-injecting
         :class:`~repro.storage.faults.ChaosBackend` -- the chaos-matrix
         harness's hook, never set in production serving.
+
+        A *shard directory* (``prixshard.json`` manifest,
+        ``docs/SHARDING.md``) mounts the same way: the scrub sweeps
+        every shard plus the manifest, the open yields a
+        :class:`~repro.shard.ShardedIndex` whose per-shard backends all
+        use ``backend``, and a reload re-reads the manifest -- so a
+        rebalance's new generation swaps in as one atomic hot reload.
         """
-        report = scrub_path(path)
-        index = PrixIndex.open(path, backend=backend,
-                               pool_pages=pool_pages, chaos=chaos)
+        if is_shard_directory(path):
+            report = scrub_shards(path)
+            index = ShardedIndex.open(path, backend=backend,
+                                      pool_pages=pool_pages, chaos=chaos)
+        else:
+            report = scrub_path(path)
+            index = PrixIndex.open(path, backend=backend,
+                                   pool_pages=pool_pages, chaos=chaos)
         return _Mount(name, path, backend, generation, index,
                       report.to_json(), self._latch, chaos=chaos)
 
@@ -253,7 +266,10 @@ class IndexRegistry:
             mount = self._mounts.get(name)
         if mount is None:
             raise KeyError(f"no index mounted as {name!r}")
-        report = scrub_path(mount.path)
+        if is_shard_directory(mount.path):
+            report = scrub_shards(mount.path)
+        else:
+            report = scrub_path(mount.path)
         with self._latch:
             mount.health_json = report.to_json()
         return report.healthy
@@ -263,12 +279,15 @@ class IndexRegistry:
         out = {}
         with self._latch:
             for name, mount in sorted(self._mounts.items()):
-                out[name] = {
+                row = {
                     "path": mount.path,
                     "backend": mount.backend,
                     "generation": mount.generation,
                     "leases": mount.leases,
                 }
+                if isinstance(mount.index, ShardedIndex):
+                    row["shards"] = mount.index.shard_count
+                out[name] = row
         return out
 
     def health(self):  # prixeffect: declares=latch-acquire
@@ -280,12 +299,15 @@ class IndexRegistry:
         scrub --json`` prints, so the two surfaces cannot drift.
         """
         with self._latch:
-            mounts = dict(self._mounts)
+            # health_json is guarded by _latch (rescrub and hot reload
+            # rewrite it in place), so snapshot it before parsing.
+            rows = [(name, mount.generation, mount.health_json)
+                    for name, mount in sorted(self._mounts.items())]
         out = {}
-        for name, mount in sorted(mounts.items()):
-            scrub = json.loads(mount.health_json)
+        for name, generation, health_json in rows:
+            scrub = json.loads(health_json)
             out[name] = {
-                "generation": mount.generation,
+                "generation": generation,
                 "healthy": (scrub["catalog_ok"]
                             and not scrub["pages_corrupt"]),
                 "scrub": scrub,
@@ -299,7 +321,7 @@ class IndexRegistry:
         out = {}
         for name, mount in sorted(mounts.items()):
             snap = mount.index.io_stats.snapshot()
-            out[name] = {
+            row = {
                 "physical_reads": snap.physical_reads,
                 "logical_reads": snap.logical_reads,
                 "evictions": snap.evictions,
@@ -307,6 +329,12 @@ class IndexRegistry:
                 "guard_repairs": snap.guard_repairs,
                 "guard_quarantines": snap.guard_quarantines,
             }
+            if isinstance(mount.index, ShardedIndex):
+                # Sharded mounts break the totals down per shard so the
+                # metrics endpoint shows scatter skew, not just sums.
+                row["shards"] = mount.index.shard_stats()
+                row["scatter"] = mount.index.scatter_stats()
+            out[name] = row
         return out
 
     def close_all(self):  # prixeffect: declares=raw-io,pager-io,wal-io,latch-acquire,stats-mutate,alloc-page

@@ -1,0 +1,273 @@
+"""The shard catalog: one checksummed manifest per shard directory.
+
+A sharded PRIX deployment (docs/SHARDING.md) is a directory holding N
+independent single-index files plus one small JSON manifest,
+``prixshard.json``, that makes the set a first-class index.  The
+manifest records, per shard, the index file name and the *closed*
+doc-id range ``[low, high]`` it owns -- ranges are disjoint and sorted,
+so routing a doc id to its shard is a scan over a handful of entries.
+
+The manifest is guarded the same way the page catalog is: a CRC-32
+over its canonical JSON payload is stored inside the file, and
+:meth:`ShardCatalog.load` verifies it before trusting a byte.  A
+mismatch raises :class:`ShardCatalogError`, a
+:class:`~repro.storage.errors.CorruptionError` subclass, so the CLI's
+existing corruption ladder (exit code 3) applies unchanged.
+
+Writes are atomic (temp file + ``os.replace``) and carry a
+``generation`` counter: rebalance and compaction never edit shard
+files in place -- they build replacements, then publish a new manifest
+generation in one rename, which is exactly the unit the serving tier's
+hot reload swaps (docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+
+from repro.storage import CorruptionError, StorageError
+
+#: Manifest file name inside a shard directory.
+MANIFEST_NAME = "prixshard.json"
+#: Manifest format version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+class ShardError(StorageError):
+    """Base class for shard-subsystem failures (bad layout, bad args)."""
+
+
+class ShardCatalogError(CorruptionError):
+    """The shard manifest is missing, malformed, or fails its checksum.
+
+    A :class:`~repro.storage.errors.CorruptionError` so ``prix scrub``
+    and the CLI's exit-code ladder treat a damaged manifest exactly
+    like a damaged page catalog.
+    """
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's row in the manifest.
+
+    Attributes:
+        name: stable shard name (``shard-0000``), the metrics label.
+        file: index file name, relative to the shard directory.
+        low: smallest doc id this shard owns (closed bound).
+        high: largest doc id this shard owns (closed bound).
+        doc_count: documents stored at manifest-write time.
+    """
+
+    name: str
+    file: str
+    low: int
+    high: int
+    doc_count: int
+
+    def owns(self, doc_id):
+        """True when ``doc_id`` falls inside this shard's range."""
+        return self.low <= doc_id <= self.high
+
+    def as_dict(self):
+        return {"name": self.name, "file": self.file, "low": self.low,
+                "high": self.high, "doc_count": self.doc_count}
+
+    @classmethod
+    def from_dict(cls, raw):
+        try:
+            return cls(name=str(raw["name"]), file=str(raw["file"]),
+                       low=int(raw["low"]), high=int(raw["high"]),
+                       doc_count=int(raw["doc_count"]))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ShardCatalogError(
+                f"malformed shard entry {raw!r}: {error}") from None
+
+
+def _canonical(payload):
+    """Canonical JSON bytes: the checksum's input must be byte-stable."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("ascii")
+
+
+@dataclass(frozen=True)
+class ShardCatalog:
+    """The parsed, verified manifest of one shard directory.
+
+    Immutable: mutation paths (insert/delete routing, rebalance) build
+    a replacement via :meth:`replace_entries` / :meth:`next_generation`
+    and publish it with :meth:`save` -- mirroring how the page layer
+    publishes a new catalog rather than editing the old one.
+    """
+
+    directory: str
+    entries: tuple          # tuple[ShardEntry], sorted by ``low``
+    generation: int = 1
+    page_size: int = 0
+
+    def __post_init__(self):
+        previous = None
+        for entry in self.entries:
+            if entry.low > entry.high:
+                raise ShardError(f"shard {entry.name}: empty range "
+                                 f"[{entry.low}, {entry.high}]")
+            if previous is not None and entry.low <= previous.high:
+                raise ShardError(
+                    f"shard ranges overlap or are unsorted: "
+                    f"{previous.name}[..{previous.high}] vs "
+                    f"{entry.name}[{entry.low}..]")
+            previous = entry
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def shard_for(self, doc_id):
+        """The :class:`ShardEntry` owning ``doc_id``, or None."""
+        for entry in self.entries:
+            if entry.owns(doc_id):
+                return entry
+        return None
+
+    def route(self, doc_id):
+        """Routing for *new* documents: the owner if one exists, else
+        the nearest shard (ranges stretch at the edges)."""
+        owner = self.shard_for(doc_id)
+        if owner is not None:
+            return owner
+        if not self.entries:
+            raise ShardError("catalog has no shards")
+        if doc_id < self.entries[0].low:
+            return self.entries[0]
+        for entry in self.entries:
+            if doc_id < entry.low:
+                return entry
+        return self.entries[-1]
+
+    def entry(self, name):
+        for candidate in self.entries:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+    def path_for(self, entry):
+        """Absolute path of one shard's index file."""
+        return os.path.join(self.directory, entry.file)
+
+    @property
+    def doc_count(self):
+        return sum(entry.doc_count for entry in self.entries)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def replace_entries(self, entries):
+        """Same directory/generation, new entry rows (sorted by low)."""
+        rows = tuple(sorted(entries, key=lambda entry: entry.low))
+        return ShardCatalog(directory=self.directory, entries=rows,
+                            generation=self.generation,
+                            page_size=self.page_size)
+
+    def next_generation(self, entries):
+        """A bumped-generation catalog over replacement entries."""
+        rows = tuple(sorted(entries, key=lambda entry: entry.low))
+        return ShardCatalog(directory=self.directory, entries=rows,
+                            generation=self.generation + 1,
+                            page_size=self.page_size)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def _payload(self):
+        return {"version": MANIFEST_VERSION,
+                "generation": self.generation,
+                "page_size": self.page_size,
+                "shards": [entry.as_dict() for entry in self.entries]}
+
+    def as_dict(self):
+        """JSON-ready form including the checksum (what ``save`` writes)."""
+        payload = self._payload()
+        payload["checksum"] = zlib.crc32(_canonical(payload))
+        return payload
+
+    @property
+    def manifest_path(self):
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def save(self):
+        """Atomically publish this catalog as the directory's manifest."""
+        data = _canonical(self.as_dict())
+        path = self.manifest_path
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, directory):
+        """Read and verify ``directory``'s manifest.
+
+        Raises :class:`ShardCatalogError` when the manifest is absent,
+        unparsable, version-incompatible, or fails its checksum.
+        """
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            raise ShardCatalogError(
+                f"{directory}: no shard manifest ({MANIFEST_NAME})"
+            ) from None
+        except OSError as error:
+            raise ShardCatalogError(
+                f"{path}: unreadable manifest: {error}") from None
+        try:
+            payload = json.loads(raw)
+        except ValueError as error:
+            raise ShardCatalogError(
+                f"{path}: manifest is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise ShardCatalogError(f"{path}: manifest is not an object")
+        stored = payload.pop("checksum", None)
+        computed = zlib.crc32(_canonical(payload))
+        if stored != computed:
+            raise ShardCatalogError(
+                f"{path}: manifest checksum mismatch "
+                f"(stored {stored!r}, computed {computed})")
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ShardCatalogError(
+                f"{path}: unsupported manifest version "
+                f"{payload.get('version')!r}")
+        entries = tuple(ShardEntry.from_dict(raw_entry)
+                        for raw_entry in payload.get("shards", []))
+        try:
+            return cls(directory=directory, entries=entries,
+                       generation=int(payload.get("generation", 1)),
+                       page_size=int(payload.get("page_size", 0)))
+        except ShardError as error:
+            raise ShardCatalogError(f"{path}: {error}") from None
+
+
+def is_shard_directory(path):
+    """True when ``path`` is a directory holding a shard manifest."""
+    return os.path.isdir(path) and os.path.exists(
+        os.path.join(path, MANIFEST_NAME))
+
+
+def shard_file_name(ordinal, generation=1):
+    """Canonical index file name for shard ``ordinal`` at ``generation``.
+
+    Generation 1 files are bare (``shard-0000.idx``); later generations
+    carry the generation in the name (``shard-0000.g2.idx``) so a
+    rebuild never overwrites the file a live reader may have mapped.
+    """
+    stem = f"shard-{ordinal:04d}"
+    if generation > 1:
+        stem = f"{stem}.g{generation}"
+    return f"{stem}.idx"

@@ -1,0 +1,439 @@
+"""ShardedIndex: the query surface of :class:`PrixIndex` over a shard set.
+
+Scatter-gather (docs/SHARDING.md): a query runs against every shard's
+independent PRIX index and the per-shard answers are unioned.  The
+decomposition is sound because shards partition the corpus by doc id --
+every document lives in exactly one shard, so a twig occurrence in doc
+``d`` is found by ``d``'s shard iff the monolithic index would find it
+(the per-shard index *is* a complete PRIX index over its documents, so
+Theorems 1-2 apply shard-locally), and the union over disjoint doc
+ranges neither duplicates nor drops matches.
+
+Budgets split exactly: a caller :class:`QueryBudget` is divided with
+:meth:`~repro.prix.budget.QueryBudget.split` (countable caps conserved,
+deadline shared), each finished shard's unused headroom is
+:meth:`~repro.prix.budget.QueryBudget.grant`\\ ed forward to the next,
+and the merge surfaces ``approximate=True`` iff any shard degraded:
+
+- **Refinement**-phase exhaustion in a shard yields that shard's sound
+  candidate-document superset; the merged answer collapses to doc-level
+  matches -- the union of exact shards' matched documents and degraded
+  shards' candidate documents -- which is again a guaranteed superset
+  of the exact answer's documents.  Never a silent wrong answer.
+- **Filter**-phase exhaustion in any shard propagates as
+  :class:`~repro.prix.budget.BudgetExceededError`: that shard's filter
+  pass is incomplete, no sound superset exists for its doc range, so
+  none exists for the whole corpus either.
+
+Matches are returned in canonical ``(doc_id, images)`` order, so the
+answer is byte-stable across shard counts -- the oracle property the
+sharding tests pin against a monolithic index.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.prix.budget import (PHASE_FILTER, BudgetExceededError,
+                               DegradationReason, QueryBudget)
+from repro.prix.incremental import RebuildRequiredError
+from repro.prix.index import PrixIndex
+from repro.prix.matcher import QueryResult, QueryStats, TwigMatch
+from repro.query.xpath import parse_xpath
+from repro.shard.catalog import ShardCatalog, ShardError
+from repro.storage import IOStats, Latch
+
+#: ``meter.unused()`` keys double as ``QueryBudget.grant`` kwargs; the
+#: headroom carry below relies on that correspondence.
+_CARRY_ZERO = {"range_queries": 0, "physical_reads": 0, "candidates": 0}
+
+
+class ShardSetIOStats:
+    """Read-only aggregate over every shard's pool counters.
+
+    Quacks like :class:`~repro.storage.stats.IOStats` for readers
+    (``read(name)`` and ``snapshot()``), delegating to the per-shard
+    stats objects -- each of which does its own latching, so this
+    wrapper holds no lock of its own and supports no mutation.
+    """
+
+    def __init__(self, shards):
+        self._shards = shards   # callable -> iterable[PrixIndex]
+
+    def read(self, name):
+        return sum(index.io_stats.read(name) for index in self._shards())
+
+    def snapshot(self):
+        total = IOStats()
+        for index in self._shards():
+            snap = index.io_stats.snapshot()
+            total.add(**{name: getattr(snap, name)
+                         for name in IOStats._GUARDED})
+        return total
+
+
+class ShardedIndex:
+    """The shard set behind one directory, queryable as one index.
+
+    Concurrency: the shard table and catalog are guarded by the
+    ``shard-catalog`` latch (mutations -- insert/delete routing -- hold
+    it; queries snapshot the table under it and then run unlatched, the
+    same read pattern the registry uses for mounts).  Cumulative query
+    counters live behind the separate ``shard-stats`` latch so metrics
+    scrapes never contend with routing.
+    """
+
+    #: Machine-readable twin of the ``guarded-by`` comments; the
+    #: runtime sanitizer (PRIX_SANITIZE=1) enforces this mapping.
+    _GUARDED = {"_shards": "_latch", "_catalog": "_latch",
+                "_totals": "_stats_latch"}
+
+    def __init__(self, catalog, shards):
+        self._latch = Latch("shard-catalog")
+        self._stats_latch = Latch("shard-stats")
+        with self._latch:
+            self._shards = dict(shards)       # prixrace: guarded-by=_latch
+            self._catalog = catalog           # prixrace: guarded-by=_latch
+        with self._stats_latch:
+            # Queries served / degraded, in total and per shard.
+            self._totals = {  # prixrace: guarded-by=_stats_latch
+                "queries": 0, "approximate_queries": 0,
+                "per_shard": {entry.name: 0
+                              for entry in catalog.entries}}
+        self._closed = False
+        self.io_stats = ShardSetIOStats(self._shard_indexes)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory, pool_pages=None, backend="file", chaos=None):
+        """Open every shard listed in ``directory``'s manifest.
+
+        ``backend``/``pool_pages``/``chaos`` apply per shard, exactly as
+        they would to a monolithic :meth:`PrixIndex.open`.  WAL and
+        checksum sidecars auto-detect per shard file.
+        """
+        catalog = ShardCatalog.load(directory)
+        if not catalog.entries:
+            raise ShardError(f"{directory}: manifest lists no shards")
+        shards = {}
+        try:
+            for entry in catalog.entries:
+                shards[entry.name] = PrixIndex.open(
+                    catalog.path_for(entry), pool_pages=pool_pages,
+                    backend=backend, chaos=chaos)
+        except BaseException:
+            for index in shards.values():
+                index.close()
+            raise
+        return cls(catalog, shards)
+
+    def close(self):
+        """Close every shard (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._latch:
+            shards = list(self._shards.values())
+            self._shards = {}
+        for index in shards:
+            index.close()
+
+    def save(self):
+        """Republish the manifest.
+
+        Mutations (:meth:`insert_document`/:meth:`delete_document`)
+        already save the touched shard and the manifest as one unit;
+        this exists so callers holding either index kind can ``save()``
+        polymorphically -- for a shard set it is an idempotent
+        manifest rewrite.
+        """
+        with self._latch:
+            self._catalog.save()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _shard_indexes(self):
+        with self._latch:
+            return [self._shards[entry.name]
+                    for entry in self._catalog.entries]
+
+    def _snapshot(self):
+        """(entry, index) rows in catalog (doc-id) order."""
+        with self._latch:
+            return [(entry, self._shards[entry.name])
+                    for entry in self._catalog.entries]
+
+    @property
+    def catalog(self):
+        with self._latch:
+            return self._catalog
+
+    @property
+    def shard_count(self):
+        with self._latch:
+            return len(self._catalog.entries)
+
+    @property
+    def doc_count(self):
+        return sum(index.doc_count for _, index in self._snapshot())
+
+    def variants(self):
+        rows = self._snapshot()
+        return rows[0][1].variants() if rows else []
+
+    def flush_cache(self):
+        for _, index in self._snapshot():
+            index.flush_cache()
+
+    def export_documents(self):
+        """Every stored document, in doc-id order across shards."""
+        for _, index in self._snapshot():
+            yield from index.export_documents()
+
+    def shard_stats(self):
+        """Per-shard rows for ``prix stats`` and the serving metrics."""
+        with self._stats_latch:
+            queries = dict(self._totals["per_shard"])
+        rows = []
+        for entry, index in self._snapshot():
+            snap = index.io_stats.snapshot()
+            rows.append({
+                "shard": entry.name,
+                "file": entry.file,
+                "low": entry.low,
+                "high": entry.high,
+                "doc_count": index.doc_count,
+                "queries": queries.get(entry.name, 0),
+                "physical_reads": snap.physical_reads,
+                "logical_reads": snap.logical_reads,
+                "evictions": snap.evictions,
+            })
+        return rows
+
+    def scatter_stats(self):
+        """Cumulative scatter-gather counters (metrics endpoint)."""
+        with self._stats_latch:
+            return {"queries": self._totals["queries"],
+                    "approximate_queries":
+                        self._totals["approximate_queries"]}
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def query(self, pattern, *, ordered=False, variant=None,
+              use_maxgap=True, strategy="auto", maxgap_granularity=None,
+              budget=None):
+        """Scatter-gather twig query; same contract as
+        :meth:`PrixIndex.query` (see module docstring for the merge)."""
+        matches, _ = self.query_with_stats(
+            pattern, ordered=ordered, variant=variant,
+            use_maxgap=use_maxgap, strategy=strategy,
+            maxgap_granularity=maxgap_granularity, budget=budget)
+        return matches
+
+    def query_with_stats(self, pattern, *, ordered=False, variant=None,
+                         use_maxgap=True, strategy="auto",
+                         maxgap_granularity=None, cold=False, budget=None):
+        """Like :meth:`query` but also return an aggregate ``QueryStats``.
+
+        The stats sum the per-shard work counters (physical reads,
+        candidates, matches); ``stats.shards`` carries the shard count
+        and ``stats.per_shard`` the per-shard breakdown the shard bench
+        and the oracle test's evidence JSON scrape.
+        """
+        if budget is not None and not isinstance(budget, QueryBudget):
+            raise TypeError("ShardedIndex budgets must be QueryBudget "
+                            "templates; per-shard meters are minted "
+                            "internally by the scatter")
+        if isinstance(pattern, str):
+            pattern = parse_xpath(pattern)
+        rows = self._snapshot()
+        if not rows:
+            raise ShardError("sharded index is closed or empty")
+
+        capped = budget is not None and not budget.unlimited
+        slices = budget.split(len(rows)) if capped else [None] * len(rows)
+        deadline = budget.deadline_seconds if capped else None
+        started = time.monotonic()
+
+        total = QueryStats(variant="", strategy="")
+        per_shard = []
+        exact = []          # TwigMatch rows from exact shards
+        superset_docs = set()   # doc ids from degraded shards
+        reason = None
+        variants_seen = []
+        strategies_seen = []
+        carry = dict(_CARRY_ZERO)
+
+        for (entry, index), sub in zip(rows, slices):
+            meter = None
+            if sub is not None:
+                child = sub.grant(**carry)
+                if deadline is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed >= deadline:
+                        # The scatter's own cancellation point: shards
+                        # not yet started have run no filter pass at
+                        # all, so no sound superset exists for their
+                        # doc ranges -- fail the query, never fake it.
+                        raise BudgetExceededError(DegradationReason(
+                            phase=PHASE_FILTER, limit="deadline",
+                            spent=elapsed, budget=deadline))
+                    child = child.fork(deadline_seconds=deadline - elapsed)
+                meter = child.meter(io_stats=index.io_stats)
+            matches, stats = index.query_with_stats(
+                pattern, ordered=ordered, variant=variant,
+                use_maxgap=use_maxgap, strategy=strategy,
+                maxgap_granularity=maxgap_granularity, cold=cold,
+                budget=meter)
+            if meter is not None:
+                unused = meter.unused()
+                carry = {name: (left or 0)
+                         for name, left in unused.items()}
+
+            if stats.variant and stats.variant not in variants_seen:
+                variants_seen.append(stats.variant)
+            if stats.strategy and stats.strategy not in strategies_seen:
+                strategies_seen.append(stats.strategy)
+            total.arrangements = max(total.arrangements, stats.arrangements)
+            total.filter.merge(stats.filter)
+            total.candidate_documents += stats.candidate_documents
+            total.candidates_refined += stats.candidates_refined
+            total.candidates_accepted += stats.candidates_accepted
+            total.matches += stats.matches
+            total.physical_reads += stats.physical_reads
+            per_shard.append({"shard": entry.name,
+                              "matches": len(matches),
+                              "approximate": bool(matches.approximate),
+                              "physical_reads": stats.physical_reads,
+                              "candidates_refined":
+                                  stats.candidates_refined,
+                              "elapsed_seconds": stats.elapsed_seconds})
+
+            if matches.approximate:
+                superset_docs.update(match.doc_id for match in matches)
+                if reason is None:
+                    reason = matches.degradation_reason
+            else:
+                exact.extend(matches)
+
+            with self._stats_latch:
+                self._totals["per_shard"][entry.name] = (
+                    self._totals["per_shard"].get(entry.name, 0) + 1)
+
+        if reason is not None:
+            # Degraded merge: collapse to doc-level matches over the
+            # union of exact shards' matched documents and degraded
+            # shards' candidate documents -- a sound superset of the
+            # exact answer's documents (module docstring).
+            docs = superset_docs | {match.doc_id for match in exact}
+            merged = QueryResult(
+                (TwigMatch(doc_id, ()) for doc_id in sorted(docs)),
+                approximate=True, degradation_reason=reason)
+        else:
+            merged = QueryResult(sorted(
+                exact, key=lambda match: (match.doc_id, match.images)))
+
+        total.variant = "+".join(variants_seen)
+        total.strategy = "+".join(strategies_seen)
+        total.matches = len(merged)
+        total.approximate = merged.approximate
+        total.degradation_reason = merged.degradation_reason
+        total.elapsed_seconds = time.monotonic() - started
+        total.shards = len(rows)
+        total.per_shard = per_shard
+
+        with self._stats_latch:
+            self._totals["queries"] += 1
+            if merged.approximate:
+                self._totals["approximate_queries"] += 1
+        return merged, total
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+
+    def insert_document(self, document):
+        """Route an insert to the owning shard (Section 5.2.1 applies
+        shard-locally).
+
+        The owning shard's incremental insert runs unchanged; the
+        catalog row's range/count are refreshed and the manifest
+        republished.  On
+        :class:`~repro.prix.incremental.RebuildRequiredError` the
+        document's record is already cataloged in the shard (the
+        monolithic contract), the manifest is still refreshed, and the
+        error propagates -- ``rebalance``/``compact`` is the recovery
+        path, exactly as :meth:`PrixIndex.rebuilt` is for one index.
+        """
+        with self._latch:
+            entry = self._catalog.route(document.doc_id)
+            index = self._shards[entry.name]
+            try:
+                index.insert_document(document)
+            except RebuildRequiredError:
+                # The record is cataloged despite the error (the
+                # monolithic contract) -- publish the honest count
+                # before propagating.
+                index.save()
+                self._refresh_entry_locked(entry, index, document.doc_id)
+                raise
+            index.save()
+            self._refresh_entry_locked(entry, index, document.doc_id)
+
+    def delete_document(self, doc_id):
+        """Route a delete to the owning shard; ``KeyError`` if absent."""
+        with self._latch:
+            entry = self._catalog.shard_for(doc_id)
+            if entry is None:
+                raise KeyError(f"document {doc_id} is not indexed")
+            index = self._shards[entry.name]
+            index.delete_document(doc_id)
+            index.save()
+            self._refresh_entry_locked(entry, index, None)
+
+    def _refresh_entry_locked(self, entry, index, doc_id):  # prixrace: requires=_latch
+        """Rewrite ``entry``'s manifest row from the shard's live state.
+
+        Caller holds ``_latch``.  Ranges only ever widen (a shard keeps
+        owning a range even after deletes empty part of it), so routing
+        stays stable without a rebalance.
+        """
+        low, high = entry.low, entry.high
+        if doc_id is not None:
+            low = min(low, doc_id)
+            high = max(high, doc_id)
+        refreshed = type(entry)(name=entry.name, file=entry.file,
+                                low=low, high=high,
+                                doc_count=index.doc_count)
+        others = [row for row in self._catalog.entries
+                  if row.name != entry.name]
+        self._catalog = self._catalog.replace_entries(
+            others + [refreshed])
+        self._catalog.save()
+
+
+def _register_with_sanitizer():
+    """Opt the guarded fields into ``PRIX_SANITIZE=1`` enforcement.
+
+    The analysis layer cannot import the shard tier (that would invert
+    the layering), so the shard tier registers itself.
+    """
+    from repro.analysis import sanitizer  # prixlint: disable=layering
+    sanitizer.register_guarded_class(ShardedIndex)
+
+
+_register_with_sanitizer()

@@ -50,7 +50,8 @@ from repro.storage.errors import (BufferPoolExhaustedError, CorruptionError,
 from repro.storage.faults import (ChaosBackend, ChaosConfig, ChaosSchedule,
                                   CrashPoint, FaultSchedule, FaultyFile,
                                   corruption_plan, inject_corruption)
-from repro.storage.guard import (PageGuard, ScrubReport, scrub, scrub_path,
+from repro.storage.guard import (PageGuard, ScrubReport, TreeScrubReport,
+                                 scrub, scrub_path, scrub_tree,
                                  wal_repair_source)
 from repro.storage.latch import Latch
 from repro.storage.mmapio import MmapPager
@@ -99,6 +100,7 @@ __all__ = [
     "StorageError",
     "SuperblockError",
     "TransientStorageError",
+    "TreeScrubReport",
     "WalCorruptionError",
     "WalError",
     "WalProtocolError",
@@ -119,6 +121,7 @@ __all__ = [
     "scan_committed",
     "scrub",
     "scrub_path",
+    "scrub_tree",
     "split_varints",
     "wal_repair_source",
 ]

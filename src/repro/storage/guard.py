@@ -492,3 +492,113 @@ def _check_catalog(pager, pool_cls, records_cls, index_mod, path):
         return False, str(error)
     except (ValueError, KeyError, struct.error) as error:
         return False, f"catalog unreadable: {error}"
+
+
+class TreeScrubReport:
+    """Aggregate health of every index file found under one directory.
+
+    One row per index swept (each a full :class:`ScrubReport`), plus
+    rolled-up totals whose keys mirror the single-file report --
+    ``pages_corrupt`` entries are ``"<relative file>:<page id>"`` so a
+    corrupt page stays attributable to its shard.  ``catalog_ok`` is
+    the conjunction over all indexes (and, for shard directories, the
+    manifest check the shard layer folds in).
+    """
+
+    __slots__ = ("target", "reports", "manifest_ok", "manifest_error")
+
+    def __init__(self, target, reports=(), manifest_ok=None,
+                 manifest_error=None):
+        self.target = target
+        self.reports = list(reports)   # [(relative_path, ScrubReport)]
+        self.manifest_ok = manifest_ok     # None: no manifest expected
+        self.manifest_error = manifest_error
+
+    @property
+    def healthy(self):
+        return (self.manifest_ok is not False
+                and all(report.healthy for _, report in self.reports))
+
+    def as_dict(self):
+        """JSON-ready summary; same vocabulary as :class:`ScrubReport`."""
+        indexes = {rel: report.as_dict() for rel, report in self.reports}
+        catalog_ok = all(report.catalog_ok is not False
+                         for _, report in self.reports)
+        if self.manifest_ok is not None:
+            catalog_ok = catalog_ok and self.manifest_ok
+        return {
+            "target": self.target,
+            "indexes": indexes,
+            "index_count": len(self.reports),
+            "pages_total": sum(r.pages_total for _, r in self.reports),
+            "pages_ok": sum(r.pages_ok for _, r in self.reports),
+            "pages_unstamped": sum(r.pages_unstamped
+                                   for _, r in self.reports),
+            "pages_repaired": sum(r.pages_repaired
+                                  for _, r in self.reports),
+            "pages_corrupt": [f"{rel}:{page_id}"
+                              for rel, report in self.reports
+                              for page_id in report.pages_corrupt],
+            "catalog_ok": catalog_ok,
+            "catalog_error": self.manifest_error,
+            "healthy": self.healthy,
+        }
+
+    def to_json(self, indent=None):
+        """Canonical JSON twin of :meth:`ScrubReport.to_json`."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=indent)
+
+    def render(self):
+        """Human-readable multi-index summary (``prix scrub DIR``)."""
+        lines = [f"scrub {self.target}: "
+                 f"{len(self.reports)} index file(s)"]
+        if self.manifest_ok is not None:
+            state = ("ok" if self.manifest_ok
+                     else f"CORRUPT ({self.manifest_error})")
+            lines.append(f"  shard manifest: {state}")
+        for rel, report in self.reports:
+            state = "OK" if report.healthy else "CORRUPT"
+            lines.append(f"  {rel}: {state} "
+                         f"({report.pages_total} page(s), "
+                         f"{len(report.pages_corrupt)} corrupt)")
+        lines.append(f"  health      : "
+                     f"{'OK' if self.healthy else 'CORRUPT'}")
+        return "\n".join(lines)
+
+
+#: File suffix that marks a scrubabble index inside a directory tree.
+INDEX_SUFFIX = ".idx"
+
+
+def scrub_tree(directory, stamp_missing=False):
+    """Recursively scrub every ``*.idx`` file under ``directory``.
+
+    The directory form of :func:`scrub_path` (``prix scrub DIR``):
+    walks the tree in sorted order, sweeps each index file it finds
+    (sidecars and manifests are skipped -- they are inputs to their
+    index's sweep, not indexes), and aggregates the per-file
+    :class:`ScrubReport`\\ s into one :class:`TreeScrubReport`.  A
+    file that cannot be swept at all (missing, truncated below a
+    superblock) is recorded as an unhealthy report rather than raised,
+    matching :func:`scrub`'s report-not-raise contract.
+
+    Shard-manifest verification is layered on top by
+    ``repro.shard.health.scrub_shards`` -- the manifest format belongs
+    to the shard subsystem, not the storage substrate.
+    """
+    report = TreeScrubReport(target=directory)
+    for root, dirs, files in os.walk(directory):
+        dirs.sort()
+        for name in sorted(files):
+            if not name.endswith(INDEX_SUFFIX):
+                continue
+            path = os.path.join(root, name)
+            relative = os.path.relpath(path, directory)
+            try:
+                swept = scrub_path(path, stamp_missing=stamp_missing)
+            except (OSError, ValueError) as error:
+                swept = ScrubReport(target=path)
+                swept.catalog_ok = False
+                swept.catalog_error = f"unscrubbable: {error}"
+            report.reports.append((relative, swept))
+    return report

@@ -1,0 +1,121 @@
+"""`QueryBudget.split` conservation laws (docs/SHARDING.md).
+
+The sharded query path slices one caller budget across N shards; these
+tests pin the arithmetic the merge-soundness argument leans on: the
+children's countable caps sum to *exactly* the parent's (never more --
+the shards together cannot admit more work than the caller allowed;
+never fewer -- no budget silently evaporates), the wall-clock deadline
+is shared rather than divided, and split composes with fork and with
+headroom grants.
+"""
+
+import pytest
+
+from repro.prix.budget import QueryBudget
+from repro.storage.stats import IOStats
+
+COUNTABLE = ("max_range_queries", "max_physical_reads", "max_candidates")
+
+
+def caps(budget):
+    return {name: getattr(budget, name) for name in COUNTABLE}
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8, 16])
+@pytest.mark.parametrize("cap", [0, 1, 2, 5, 8, 100, 101, 1000])
+def test_split_conserves_every_countable_cap_exactly(n, cap):
+    parent = QueryBudget(max_range_queries=cap, max_physical_reads=cap,
+                         max_candidates=cap, deadline_seconds=2.5)
+    children = parent.split(n)
+    assert len(children) == n
+    for name in COUNTABLE:
+        total = sum(getattr(child, name) for child in children)
+        assert total == cap, (name, n, cap, total)
+        # No child may exceed its fair share by more than the remainder
+        # unit -- the spill is spread one unit at a time.
+        shares = sorted(getattr(child, name) for child in children)
+        assert shares[-1] - shares[0] <= 1
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 8])
+def test_split_shares_the_deadline_instead_of_dividing_it(n):
+    parent = QueryBudget(max_candidates=10, deadline_seconds=3.0)
+    for child in parent.split(n):
+        assert child.deadline_seconds == 3.0
+
+
+def test_split_keeps_uncapped_limits_uncapped():
+    parent = QueryBudget(max_candidates=9)  # everything else None
+    for child in parent.split(4):
+        assert child.max_range_queries is None
+        assert child.max_physical_reads is None
+        assert child.deadline_seconds is None
+    assert sum(c.max_candidates for c in parent.split(4)) == 9
+
+
+def test_split_rejects_nonpositive_counts():
+    with pytest.raises(ValueError):
+        QueryBudget(max_candidates=4).split(0)
+    with pytest.raises(ValueError):
+        QueryBudget(max_candidates=4).split(-2)
+
+
+def test_fork_then_split_equals_split_of_the_original():
+    parent = QueryBudget(max_range_queries=11, max_physical_reads=7,
+                         max_candidates=30, deadline_seconds=1.0)
+    direct = parent.split(4)
+    forked = parent.fork().split(4)
+    assert [caps(a) for a in direct] == [caps(b) for b in forked]
+    assert all(a.deadline_seconds == b.deadline_seconds
+               for a, b in zip(direct, forked))
+
+
+def test_split_children_fork_without_loosening():
+    parent = QueryBudget(max_candidates=8, deadline_seconds=5.0)
+    child = parent.split(2)[0]
+    tightened = child.fork(deadline_seconds=1.0)
+    assert tightened.max_candidates == child.max_candidates
+    assert tightened.deadline_seconds == 1.0
+    loosened = child.fork(deadline_seconds=9.0)
+    assert loosened.deadline_seconds == 5.0  # min() wins
+
+
+def test_sum_of_child_meters_equals_parent_charges():
+    """Charging every child to its cap admits exactly the parent cap."""
+    parent = QueryBudget(max_candidates=10)
+    admitted = 0
+    for child in parent.split(3):
+        meter = child.meter()
+        for _ in range(child.max_candidates):
+            meter.charge_candidate()
+            admitted += 1
+        # The next charge over the child's slice must trip.
+        with pytest.raises(Exception):
+            meter.charge_candidate()
+    assert admitted == 10
+
+
+def test_grant_redistributes_only_unused_headroom():
+    parent = QueryBudget(max_candidates=10, max_physical_reads=6,
+                         deadline_seconds=2.0)
+    first, second = parent.split(2)
+    meter = first.meter(io_stats=IOStats())
+    for _ in range(2):
+        meter.charge_candidate()
+    unused = meter.unused()
+    assert unused["candidates"] == first.max_candidates - 2
+    assert unused["physical_reads"] == first.max_physical_reads
+    assert unused["range_queries"] is None
+    topped = second.grant(candidates=unused["candidates"],
+                          physical_reads=unused["physical_reads"])
+    # Conservation across the redistribution: what the two shards may
+    # admit in total is still exactly the parent's cap.
+    assert 2 + (first.max_candidates - 2) == first.max_candidates
+    assert topped.max_candidates + 2 == parent.max_candidates
+    assert topped.max_physical_reads == parent.max_physical_reads
+    assert topped.deadline_seconds == 2.0
+
+
+def test_grant_ignores_uncapped_limits():
+    budget = QueryBudget(max_candidates=None)
+    assert budget.grant(candidates=5).max_candidates is None

@@ -1,0 +1,124 @@
+"""Unit tests for the shard catalog manifest (docs/SHARDING.md).
+
+The manifest is the shard set's superblock: a checksummed JSON file
+naming every shard, its doc-id range and its generation.  These tests
+pin the invariants the rest of the subsystem leans on -- sorted disjoint
+ranges, checksum verification on load, atomic replace on save, and the
+routing rules (``shard_for`` exact, ``route`` nearest for new ids).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.shard import (MANIFEST_NAME, ShardCatalog, ShardCatalogError,
+                         ShardEntry, ShardError, is_shard_directory)
+from repro.shard.catalog import shard_file_name
+
+
+def make_catalog(directory, ranges=((1, 10, 4), (11, 20, 5))):
+    entries = [ShardEntry(name=f"shard-{i:04d}",
+                          file=shard_file_name(i),
+                          low=low, high=high, doc_count=count)
+               for i, (low, high, count) in enumerate(ranges)]
+    return ShardCatalog(directory=str(directory), entries=tuple(entries))
+
+
+class TestEntries:
+    def test_owns_is_inclusive(self):
+        entry = ShardEntry(name="s", file="s.idx", low=3, high=7,
+                           doc_count=5)
+        assert entry.owns(3) and entry.owns(7)
+        assert not entry.owns(2) and not entry.owns(8)
+
+    def test_ranges_must_be_disjoint(self, tmp_path):
+        with pytest.raises(ShardError):
+            make_catalog(tmp_path, ranges=((1, 10, 4), (10, 20, 5)))
+
+    def test_unsorted_entries_are_rejected(self, tmp_path):
+        with pytest.raises(ShardError):
+            make_catalog(tmp_path, ranges=((11, 20, 5), (1, 10, 4)))
+
+    def test_replace_entries_sorts_by_low(self, tmp_path):
+        catalog = make_catalog(tmp_path)
+        shuffled = catalog.replace_entries(tuple(reversed(catalog.entries)))
+        assert [entry.low for entry in shuffled.entries] == [1, 11]
+
+    def test_empty_range_is_rejected(self, tmp_path):
+        with pytest.raises(ShardError):
+            make_catalog(tmp_path, ranges=((10, 1, 0),))
+
+
+class TestRouting:
+    def test_shard_for_exact_hit_and_miss(self, tmp_path):
+        catalog = make_catalog(tmp_path)
+        assert catalog.shard_for(1).name == "shard-0000"
+        assert catalog.shard_for(20).name == "shard-0001"
+        assert catalog.shard_for(99) is None
+
+    def test_route_owns_or_nearest(self, tmp_path):
+        catalog = make_catalog(tmp_path)
+        # Owned ids route to the owner.
+        assert catalog.route(15).name == "shard-0001"
+        # New ids beyond every range route to the nearest shard, so
+        # append workloads land on the last shard.
+        assert catalog.route(999).name == "shard-0001"
+        assert catalog.route(0).name == "shard-0000"
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        catalog = make_catalog(tmp_path)
+        catalog.save()
+        loaded = ShardCatalog.load(str(tmp_path))
+        assert loaded.entries == catalog.entries
+        assert loaded.generation == catalog.generation
+        assert is_shard_directory(str(tmp_path))
+
+    def test_checksum_tamper_is_detected(self, tmp_path):
+        make_catalog(tmp_path).save()
+        manifest = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(manifest, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["shards"][0]["doc_count"] = 999  # stale checksum now
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ShardCatalogError):
+            ShardCatalog.load(str(tmp_path))
+
+    def test_garbage_manifest_is_detected(self, tmp_path):
+        manifest = os.path.join(str(tmp_path), MANIFEST_NAME)
+        with open(manifest, "w", encoding="utf-8") as handle:
+            handle.write("not json {")
+        with pytest.raises(ShardCatalogError):
+            ShardCatalog.load(str(tmp_path))
+
+    def test_missing_manifest_is_not_a_shard_directory(self, tmp_path):
+        assert not is_shard_directory(str(tmp_path))
+        with pytest.raises(ShardCatalogError):
+            ShardCatalog.load(str(tmp_path))
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        catalog = make_catalog(tmp_path)
+        catalog.save()
+        before = set(os.listdir(str(tmp_path)))
+        catalog.save()
+        # No temp files linger after the rename.
+        assert set(os.listdir(str(tmp_path))) == before == {MANIFEST_NAME}
+
+
+class TestGenerations:
+    def test_next_generation_bumps_and_replaces(self, tmp_path):
+        catalog = make_catalog(tmp_path)
+        entries = [ShardEntry(name="shard-0000",
+                              file=shard_file_name(0, generation=2),
+                              low=1, high=20, doc_count=9)]
+        bumped = catalog.next_generation(entries)
+        assert bumped.generation == catalog.generation + 1
+        assert bumped.entries[0].file == "shard-0000.g2.idx"
+
+    def test_shard_file_name_embeds_generation(self):
+        assert shard_file_name(0) == "shard-0000.idx"
+        assert shard_file_name(3) == "shard-0003.idx"
+        assert shard_file_name(0, generation=4) == "shard-0000.g4.idx"

@@ -1,0 +1,123 @@
+"""The CI shard matrix (docs/SHARDING.md): seeds x shards x workers.
+
+Each cell seeds a fresh dblp corpus, builds it sharded at the cell's
+worker count, and holds the oracle: every dblp Table 3 answer
+byte-identical to a monolithic index under the canonical serialization,
+a parallel build byte-identical on disk to a serial one, and a
+refinement-budget degradation that is a sound approximate superset.
+
+Environment (the CI job pins one cell per matrix leg):
+
+- ``PRIX_SHARD_SEEDS``: comma-separated corpus seeds (default 11,23,47)
+- ``PRIX_SHARD_COUNTS``: comma-separated shard counts (default 1,4)
+- ``PRIX_SHARD_WORKERS``: comma-separated worker counts (default 1,4)
+- ``PRIX_SHARD_ARTIFACT``: path; a failing cell dumps its evidence
+  bundle (query, per-shard physical reads, both serializations) there
+  as JSON before the assertion fires.
+"""
+
+import filecmp
+import json
+import os
+
+import pytest
+
+from repro.bench.workloads import queries_for
+from repro.datasets import dblp
+from repro.prix.budget import QueryBudget
+from repro.prix.index import PrixIndex
+from repro.query.xpath import parse_xpath
+from repro.shard import ShardedIndex, build_shards
+
+SEEDS = [int(s) for s in
+         os.environ.get("PRIX_SHARD_SEEDS", "11,23,47").split(",")]
+COUNTS = [int(s) for s in
+          os.environ.get("PRIX_SHARD_COUNTS", "1,4").split(",")]
+WORKERS = [int(s) for s in
+           os.environ.get("PRIX_SHARD_WORKERS", "1,4").split(",")]
+N_RECORDS = 60
+
+_EVIDENCE = []
+
+
+def dump_evidence(cell):
+    _EVIDENCE.append(cell)
+    artifact = os.environ.get("PRIX_SHARD_ARTIFACT")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(_EVIDENCE, handle, indent=2, sort_keys=True,
+                      default=str)
+    return json.dumps(cell, indent=2, sort_keys=True, default=str)
+
+
+def canonical_bytes(matches):
+    rows = sorted((m.doc_id, [list(image) for image in m.images])
+                  for m in matches)
+    return json.dumps(rows, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded(request):
+    seed = request.param
+    docs = dblp(n_records=N_RECORDS, seed=seed).documents
+    monolith = PrixIndex.build(docs)
+    yield seed, docs, monolith
+    monolith.close()
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize("shards", COUNTS)
+def test_shard_matrix_cell(seeded, shards, workers, tmp_path):
+    seed, docs, monolith = seeded
+    target = str(tmp_path / "shards")
+    build_shards(docs, target, shards=shards, workers=workers)
+
+    if workers > 1:
+        # The worker count must not leak into the bytes on disk.
+        serial = str(tmp_path / "serial")
+        build_shards(docs, serial, shards=shards, workers=1)
+        for name in sorted(os.listdir(target)):
+            identical = filecmp.cmp(os.path.join(target, name),
+                                    os.path.join(serial, name),
+                                    shallow=False)
+            if not identical:
+                detail = dump_evidence({
+                    "seed": seed, "shards": shards, "workers": workers,
+                    "kind": "nondeterministic-build", "file": name})
+                pytest.fail(f"parallel build diverges from serial\n"
+                            f"{detail}")
+
+    specs = queries_for("dblp")
+    with ShardedIndex.open(target) as sharded:
+        for spec in specs:
+            pattern = parse_xpath(spec.xpath)
+            expected = canonical_bytes(monolith.query(pattern))
+            matches, stats = sharded.query_with_stats(pattern)
+            actual = canonical_bytes(matches)
+            per_shard = [row["physical_reads"]
+                         for row in stats.per_shard]
+            if actual != expected:
+                detail = dump_evidence({
+                    "seed": seed, "shards": shards, "workers": workers,
+                    "qid": spec.qid, "kind": "answer-divergence",
+                    "per_shard_physical_reads": per_shard,
+                    "summed_physical_reads": sum(per_shard),
+                    "monolith_answer": expected.decode("utf-8"),
+                    "sharded_answer": actual.decode("utf-8")})
+                pytest.fail(f"{spec.qid}: sharded answer diverges from "
+                            f"the monolith\n{detail}")
+            assert stats.physical_reads == sum(per_shard)
+
+            exact_docs = {m.doc_id for m in monolith.query(pattern)}
+            degraded = sharded.query(
+                pattern, budget=QueryBudget(max_candidates=0))
+            assert degraded.approximate
+            got = set(degraded.doc_ids)
+            if not got >= exact_docs:
+                detail = dump_evidence({
+                    "seed": seed, "shards": shards, "workers": workers,
+                    "qid": spec.qid, "kind": "false-dismissal",
+                    "missing_docs": sorted(exact_docs - got)})
+                pytest.fail(f"{spec.qid}: degraded answer dropped true "
+                            f"documents\n{detail}")

@@ -1,0 +1,127 @@
+"""The sharding oracle property (docs/SHARDING.md, acceptance gate).
+
+For every Table 3 query and every shard count in {1, 2, 4, 8}, the
+scatter-gather answer over a seeded corpus must be *byte-identical* to
+the monolithic index's answer under the canonical serialization --
+sharding is an execution strategy, never a semantics change.  A failing
+case dumps an evidence bundle (query, shard count, the summed per-shard
+physical reads, and both serializations) to ``PRIX_SHARD_ARTIFACT``
+when that variable names a path, so the CI shard matrix can upload it.
+
+The degradation half of the property: under a refinement-phase budget
+every sharded answer must still be a sound superset of the exact
+answer's documents, marked ``approximate`` -- degraded never means
+silently wrong.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.workloads import QUERIES
+from repro.prix.budget import QueryBudget
+from repro.prix.index import PrixIndex
+from repro.query.xpath import parse_xpath
+from repro.shard import ShardedIndex, build_shards
+
+SHARD_COUNTS = (1, 2, 4, 8)
+ARTIFACT = os.environ.get("PRIX_SHARD_ARTIFACT")
+
+_EVIDENCE = []
+
+
+def canonical_bytes(matches):
+    """The canonical answer serialization: sorted (doc_id, images)
+    rows as compact sorted-key JSON bytes."""
+    rows = sorted((m.doc_id, [list(image) for image in m.images])
+                  for m in matches)
+    return json.dumps(rows, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def dump_evidence(case):
+    _EVIDENCE.append(case)
+    if ARTIFACT:
+        with open(ARTIFACT, "w", encoding="utf-8") as handle:
+            json.dump(_EVIDENCE, handle, indent=2, sort_keys=True,
+                      default=str)
+    return json.dumps(case, indent=2, sort_keys=True, default=str)
+
+
+@pytest.fixture(scope="module")
+def corpora(tiny_dblp, tiny_swissprot, tiny_treebank):
+    return {"dblp": tiny_dblp, "swissprot": tiny_swissprot,
+            "treebank": tiny_treebank}
+
+
+@pytest.fixture(scope="module")
+def monoliths(corpora):
+    built = {name: PrixIndex.build(corpus.documents)
+             for name, corpus in corpora.items()}
+    yield built
+    for index in built.values():
+        index.close()
+
+
+@pytest.fixture(scope="module")
+def shard_dirs(corpora, tmp_path_factory):
+    base = tmp_path_factory.mktemp("shard-oracle")
+    built = {}
+    for name, corpus in corpora.items():
+        for count in SHARD_COUNTS:
+            target = str(base / f"{name}-{count}")
+            build_shards(corpus.documents, target, shards=count)
+            built[name, count] = target
+    return built
+
+
+@pytest.mark.parametrize("count", SHARD_COUNTS)
+@pytest.mark.parametrize("spec", QUERIES, ids=[s.qid for s in QUERIES])
+def test_sharded_answer_is_byte_identical(spec, count, monoliths,
+                                          shard_dirs):
+    pattern = parse_xpath(spec.xpath)
+    expected = canonical_bytes(monoliths[spec.corpus].query(pattern))
+    with ShardedIndex.open(shard_dirs[spec.corpus, count]) as sharded:
+        matches, stats = sharded.query_with_stats(pattern)
+    actual = canonical_bytes(matches)
+
+    per_shard_reads = [row["physical_reads"] for row in stats.per_shard]
+    evidence = {
+        "qid": spec.qid,
+        "corpus": spec.corpus,
+        "xpath": spec.xpath,
+        "shard_count": count,
+        "per_shard_physical_reads": per_shard_reads,
+        "summed_physical_reads": sum(per_shard_reads),
+        "monolith_answer": expected.decode("utf-8"),
+        "sharded_answer": actual.decode("utf-8"),
+    }
+    assert stats.physical_reads == sum(per_shard_reads), \
+        "aggregate stats must equal the per-shard sum\n" + \
+        dump_evidence(evidence)
+    if actual != expected:
+        detail = dump_evidence(evidence)
+        pytest.fail(f"{spec.qid} @ {count} shard(s): sharded answer "
+                    f"diverges from the monolith\n{detail}")
+    assert not matches.approximate
+
+
+@pytest.mark.parametrize("count", SHARD_COUNTS)
+@pytest.mark.parametrize("spec", QUERIES, ids=[s.qid for s in QUERIES])
+def test_degraded_answer_is_sound_superset(spec, count, monoliths,
+                                           shard_dirs):
+    pattern = parse_xpath(spec.xpath)
+    exact_docs = {m.doc_id for m in monoliths[spec.corpus].query(pattern)}
+    with ShardedIndex.open(shard_dirs[spec.corpus, count]) as sharded:
+        degraded = sharded.query(pattern,
+                                 budget=QueryBudget(max_candidates=0))
+    assert degraded.approximate
+    got = set(degraded.doc_ids)
+    if not got >= exact_docs:
+        detail = dump_evidence({
+            "qid": spec.qid, "corpus": spec.corpus,
+            "shard_count": count, "kind": "false-dismissal",
+            "missing_docs": sorted(exact_docs - got)})
+        pytest.fail(f"{spec.qid} @ {count} shard(s): degraded answer "
+                    f"dropped true documents\n{detail}")
